@@ -1,0 +1,52 @@
+"""Shared helpers for the paper-figure benchmarks.
+
+Every benchmark runs the corresponding simulated experiment once under
+``benchmark.pedantic`` (real time measures simulator cost; the *reproduced
+metrics* are simulated and land in ``benchmark.extra_info`` and on stdout
+as paper-style rows).
+
+Scale: set ``REPRO_BENCH_SCALE=full`` for the paper's full parameter grids;
+the default ``small`` grid keeps the whole suite in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List
+
+from repro.sim.units import KiB, us
+
+__all__ = ["SCALE", "fmt_rows", "is_full", "kops", "pct_gain", "usec"]
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def is_full() -> bool:
+    return SCALE == "full"
+
+
+def usec(seconds: float) -> str:
+    return f"{seconds / us:9.2f}us"
+
+
+def kops(ops_per_sec: float) -> str:
+    return f"{ops_per_sec / 1e3:9.1f}k"
+
+
+def pct_gain(base: float, improved: float) -> str:
+    """Relative improvement of `improved` over `base` (both 'smaller=better'
+    or pass throughputs swapped)."""
+    if base <= 0:
+        return "   n/a"
+    return f"{(base - improved) / base * 100:+6.1f}%"
+
+
+def fmt_rows(title: str, header: List[str], rows: Iterable[List[str]]) -> str:
+    lines = [f"\n== {title} =="]
+    widths = [max(len(h), 12) for h in header]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    out = "\n".join(lines)
+    print(out)
+    return out

@@ -1,0 +1,55 @@
+"""Figure 16: HatKV vs emulated comparators on YCSB workload B.
+
+The read-intensive mix (47.5% GET / 47.5% MultiGET) is communication-bound,
+so the paper's orderings reproduce directly: HatKV best, AR-gRPC the
+strongest comparator, HERD collapsing on MultiGET (chunked SEND responses),
+Pilaf/RFP paying their multi-READ / speculative-READ fetch paths.
+"""
+
+import pytest
+
+from benchmarks.figutil import fmt_rows, is_full, kops, usec
+from repro.emul import start_system
+from repro.testbed import Testbed
+from repro.ycsb import OpType, WORKLOAD_B, run_ycsb
+
+SYSTEMS = ["hatkv_function", "hatkv_service", "ar_grpc", "herd", "pilaf",
+           "rfp"]
+N_CLIENTS = 128 if is_full() else 48
+OPS = 12
+
+
+def _run():
+    out = {}
+    for system in SYSTEMS:
+        tb = Testbed(n_nodes=5)
+        server, connect = start_system(tb, system, n_clients=N_CLIENTS)
+        out[system] = run_ycsb(server, connect, WORKLOAD_B, testbed=tb,
+                               n_clients=N_CLIENTS, ops_per_client=OPS,
+                               warmup_per_client=3)
+    return out
+
+
+def test_fig16_ycsb_b(benchmark):
+    res = benchmark.pedantic(_run, rounds=1, iterations=1)
+    hat = res["hatkv_function"].throughput_ops
+    fmt_rows(f"Fig. 16a: YCSB-B throughput ({N_CLIENTS} clients)",
+             ["system", "throughput", "HatKV-F speedup"],
+             [[s, kops(res[s].throughput_ops),
+               f"x{hat / res[s].throughput_ops:.2f}"] for s in SYSTEMS])
+    fmt_rows("Fig. 16b: YCSB-B mean latency per op",
+             ["system"] + [op.value for op in OpType],
+             [[s] + [usec(res[s].latency(op).mean)
+                     if res[s].latency(op).samples else "      n/a"
+                     for op in OpType] for s in SYSTEMS])
+    benchmark.extra_info["throughput_kops"] = {
+        s: round(r.throughput_ops / 1e3, 1) for s, r in res.items()}
+
+    # The paper's throughput ordering.
+    assert hat > res["ar_grpc"].throughput_ops * 0.98
+    assert hat > res["pilaf"].throughput_ops * 1.15
+    assert hat > res["rfp"].throughput_ops * 1.15
+    assert hat > res["herd"].throughput_ops * 1.5
+    # HERD's MultiGET collapse.
+    assert res["herd"].latency(OpType.MULTI_GET).mean > \
+        2 * res["hatkv_function"].latency(OpType.MULTI_GET).mean

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Quickstart: define a hinted service, generate code, call it over RDMA.
+
+This walks the whole HatRPC pipeline on a two-node simulated cluster:
+
+1. write a Thrift IDL with HatRPC hints (Figure 7 syntax);
+2. compile it with the IDL compiler (lexer -> parser -> hint validation ->
+   Python codegen);
+3. start a HatRPC server and connect a client -- the hint-aware engine
+   derives the channel plan (protocol + polling per function) from the
+   generated hint map;
+4. make calls and inspect what the hints decided.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.runtime import HatRpcServer, hatrpc_connect, service_plan_of
+from repro.idl import load_idl
+from repro.sim.units import us
+from repro.testbed import Testbed
+
+IDL = """
+// An echo service with heterogeneous functions (compare Figure 1).
+service Echo {
+    // Service-level hints set the tone for every function...
+    hint: perf_goal = throughput, concurrency = 4;
+
+    string Ping(1: string msg) [
+        // ...and function-level hints override for the functions that
+        // need something different: Ping is latency-critical.
+        hint: perf_goal = latency, payload_size = 64;
+    ]
+    binary Post(1: binary payload) [
+        hint: payload_size = 64KB;
+    ]
+    oneway void Deliver(1: i64 token),
+}
+"""
+
+
+class EchoHandler:
+    """The application code: plain methods (or coroutines for
+    handlers that consume simulated time)."""
+
+    def __init__(self):
+        self.delivered = []
+
+    def Ping(self, msg):
+        return f"pong: {msg}"
+
+    def Post(self, payload):
+        return payload[::-1]
+
+    def Deliver(self, token):
+        self.delivered.append(token)
+
+
+def main():
+    # -- 1+2: compile the IDL into an importable module --------------------
+    gen = load_idl(IDL, "echo_gen")
+    print("generated symbols:",
+          [s for s in dir(gen) if s.startswith("Echo")])
+
+    # -- inspect the hint-derived channel plan ------------------------------
+    plan = service_plan_of(gen, "Echo")
+    for fn, route in sorted(plan.routes.items()):
+        ch = plan.channels[route.channel]
+        print(f"  {fn:8s} -> channel {ch.index}: {ch.protocol} "
+              f"({ch.server_poll.value} polling)  [{route.choice.rationale}]")
+
+    # -- 3: a simulated two-node cluster ------------------------------------
+    tb = Testbed(n_nodes=2)
+    handler = EchoHandler()
+    HatRpcServer(tb.node(0), gen, "Echo", handler).start()
+
+    # -- 4: client calls (coroutines under the simulator) -------------------
+    out = {}
+
+    def client():
+        echo = yield from hatrpc_connect(tb.node(1), tb.node(0), gen, "Echo")
+        out["ping"] = yield from echo.Ping("hello HatRPC")
+        t0 = tb.sim.now
+        yield from echo.Ping("timed")
+        out["ping_latency"] = tb.sim.now - t0
+        blob = bytes(range(256)) * 64
+        out["post"] = (yield from echo.Post(blob)) == blob[::-1]
+        yield from echo.Deliver(42)
+
+    tb.sim.run(tb.sim.process(client()))
+    tb.sim.run()
+
+    print(f"\nPing reply:        {out['ping']!r}")
+    print(f"Ping latency:      {out['ping_latency'] / us:.2f} us "
+          "(simulated, over RDMA Direct-WriteIMM)")
+    print(f"Post roundtrip ok: {out['post']}")
+    print(f"Oneway delivered:  {handler.delivered}")
+
+
+if __name__ == "__main__":
+    main()

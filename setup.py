@@ -1,0 +1,7 @@
+"""Legacy shim: the offline environment lacks the `wheel` package, so PEP 660
+editable installs fail; `python setup.py develop` still works. All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""HatRPC reproduction: hint-accelerated Thrift RPC over simulated RDMA.
+
+Full-system reproduction of Li, Shi & Lu, "HatRPC: Hint-Accelerated Thrift
+RPC over RDMA" (SC '21).  See README.md for the tour, DESIGN.md for the
+system inventory and simulation-substitution argument, EXPERIMENTS.md for
+paper-vs-measured results.
+
+The calls most users need::
+
+    from repro import Testbed, load_idl, HatRpcServer, hatrpc_connect
+
+    gen = load_idl(open("service.thrift").read())
+    tb = Testbed(n_nodes=2)
+    HatRpcServer(tb.node(0), gen, "MyService", Handler()).start()
+    # ... then inside a simulator process:
+    #     stub = yield from hatrpc_connect(tb.node(1), tb.node(0),
+    #                                      gen, "MyService")
+"""
+
+from repro.core.runtime import HatRpcClient, HatRpcServer, hatrpc_connect
+from repro.idl import compile_idl, load_idl
+from repro.testbed import Testbed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HatRpcClient",
+    "HatRpcServer",
+    "Testbed",
+    "__version__",
+    "compile_idl",
+    "hatrpc_connect",
+    "load_idl",
+]

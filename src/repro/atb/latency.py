@@ -1,0 +1,52 @@
+"""ATB latency benchmark (drives Figure 11).
+
+One client, one server, fixed-size ping-pong through the generated Thrift
+``Echo`` RPC.  The HatRPC mode carries service-level hints
+``perf_goal = latency, concurrency = 1`` exactly as Section 5.2 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atb.harness import EchoHandler, connect_stub, start_server
+from repro.atb.idl import load_atb_module
+from repro.bench.stats import LatencyStats
+from repro.sim.units import KiB
+from repro.testbed import Testbed
+
+__all__ = ["LatencyBenchmark"]
+
+
+@dataclass
+class LatencyBenchmark:
+    """Single-client Echo latency for one payload size and mode."""
+
+    mode: str = "hatrpc"
+    payload: int = 512
+    iters: int = 20
+    warmup: int = 5
+
+    def run(self, testbed: Testbed | None = None) -> LatencyStats:
+        tb = testbed or Testbed(n_nodes=2)
+        gen = load_atb_module(goal="latency", payload=self.payload,
+                              concurrency=1)
+        max_msg = self.payload + 8 * KiB
+        handler = EchoHandler(tb.node(0), resp_payload=self.payload)
+        start_server(tb, gen, handler, self.mode, n_clients=1,
+                     max_msg=max_msg)
+        stats = LatencyStats()
+        payload = bytes(i % 251 for i in range(self.payload))
+
+        def client():
+            stub = yield from connect_stub(tb, tb.node(1), gen, self.mode,
+                                           n_clients=1, max_msg=max_msg)
+            for k in range(self.warmup + self.iters):
+                t0 = tb.sim.now
+                resp = yield from stub.Echo(payload)
+                assert len(resp) == self.payload
+                if k >= self.warmup:
+                    stats.record(tb.sim.now - t0)
+
+        tb.sim.run(tb.sim.process(client()))
+        return stats

@@ -1,0 +1,71 @@
+"""ATB multi-client throughput benchmark (drives Figure 12).
+
+N client connections spread over the cluster's client nodes hammer one
+server's ``Echo`` RPC.  HatRPC mode uses service-level hints
+``perf_goal = throughput`` with the deployment's concurrency, so the plan
+switches protocol/polling at the paper's thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atb.harness import EchoHandler, connect_stub, start_server
+from repro.atb.idl import load_atb_module
+from repro.bench.stats import LatencyStats
+from repro.sim.units import KiB
+from repro.testbed import Testbed
+
+__all__ = ["ThroughputBenchmark", "ThroughputResult"]
+
+
+@dataclass
+class ThroughputResult:
+    ops_per_sec: float
+    latency: LatencyStats
+    server_registered_bytes: int
+
+
+@dataclass
+class ThroughputBenchmark:
+    mode: str = "hatrpc"
+    payload: int = 512
+    n_clients: int = 16
+    iters: int = 20
+    warmup: int = 5
+    n_nodes: int = 10
+
+    def run(self, testbed: Testbed | None = None) -> ThroughputResult:
+        tb = testbed or Testbed(n_nodes=self.n_nodes)
+        gen = load_atb_module(goal="throughput", payload=self.payload,
+                              concurrency=self.n_clients)
+        max_msg = self.payload + 8 * KiB
+        handler = EchoHandler(tb.node(0), resp_payload=self.payload)
+        start_server(tb, gen, handler, self.mode, self.n_clients, max_msg)
+        stats = LatencyStats()
+        payload = bytes(i % 251 for i in range(self.payload))
+        window = {"start": None, "end": 0.0, "ops": 0}
+        client_nodes = tb.nodes[1:]
+
+        def client(i):
+            node = client_nodes[i % len(client_nodes)]
+            stub = yield from connect_stub(tb, node, gen, self.mode,
+                                           self.n_clients, max_msg)
+            for k in range(self.warmup + self.iters):
+                t0 = tb.sim.now
+                yield from stub.Echo(payload)
+                if k >= self.warmup:
+                    if window["start"] is None:
+                        window["start"] = t0
+                    stats.record(tb.sim.now - t0)
+                    window["ops"] += 1
+                    window["end"] = max(window["end"], tb.sim.now)
+
+        for i in range(self.n_clients):
+            tb.sim.process(client(i))
+        tb.sim.run()
+        duration = max(window["end"] - (window["start"] or 0.0), 1e-12)
+        return ThroughputResult(
+            ops_per_sec=window["ops"] / duration,
+            latency=stats,
+            server_registered_bytes=tb.node(0).nic.registered_bytes)

@@ -1,0 +1,16 @@
+"""Measurement harness shared by tests and the paper-figure benchmarks."""
+
+from repro.bench.stats import LatencyStats, percentile
+from repro.bench.proto_runner import (
+    BenchResult,
+    ProtoBenchSpec,
+    run_protocol_bench,
+)
+
+__all__ = [
+    "BenchResult",
+    "LatencyStats",
+    "ProtoBenchSpec",
+    "percentile",
+    "run_protocol_bench",
+]

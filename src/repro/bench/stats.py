@@ -1,0 +1,62 @@
+"""Latency/throughput statistics helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["LatencyStats", "percentile"]
+
+
+def percentile(samples: List[float], p: float) -> float:
+    """Nearest-rank percentile; p in [0, 100]."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0,100], got {p}")
+    s = sorted(samples)
+    rank = max(1, math.ceil(p / 100 * len(s)))
+    return s[rank - 1]
+
+
+@dataclass
+class LatencyStats:
+    """Accumulates per-call latencies."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, latency: float) -> None:
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def p50(self) -> float:
+        return percentile(self.samples, 50)
+
+    @property
+    def p95(self) -> float:
+        return percentile(self.samples, 95)
+
+    @property
+    def p99(self) -> float:
+        return percentile(self.samples, 99)
+
+    @property
+    def min(self) -> float:
+        return min(self.samples)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples)
+
+    def merge(self, other: "LatencyStats") -> "LatencyStats":
+        self.samples.extend(other.samples)
+        return self

@@ -1,0 +1,251 @@
+"""The hint-aware communication engine (Section 4.3).
+
+From a service's hierarchical hint map (the ``SERVICE_HINTS`` emitted by the
+IDL compiler) the engine derives a **channel plan**: every RPC function is
+resolved on both sides, run through the Figure 6 selector, and assigned to a
+channel -- one per distinct (transport, wire protocol, polling pair).
+Functions with identical choices share a connection; functions with
+different optimization goals are isolated on their own connections (the
+paper's *optimization isolation*).
+
+Wire-protocol agreement: both peers derive the plan from the same generated
+hint map, so the mapping is deterministic.  The wire scheme (protocol +
+buffer geometry) follows the server-side resolution -- the server owns the
+serving resources -- with the payload hint taken as the max of both sides
+(request and response travel the same connection); each side keeps its own
+polling discipline and NUMA binding from its own lateral hints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.hints import ResolvedHints, resolve_hints
+from repro.core.selector import (SMALL_MESSAGE_THRESHOLD, ProtocolChoice,
+                                 select_protocol)
+from repro.protocols import ProtoConfig, get_protocol
+from repro.sim.units import KiB
+from repro.verbs.cq import PollMode
+
+__all__ = ["ChannelPlan", "FunctionRoute", "HatRpcEngine", "ServicePlan",
+           "build_service_plan", "pinned_plan"]
+
+#: headroom added to the payload hint when sizing connection buffers
+_MAX_MSG_SLACK = 8 * KiB
+#: buffer floor for channels whose functions carry NO payload_size hint:
+#: without the hint the engine cannot right-size pinned buffers and must
+#: provision conservatively -- precisely the memory cost hints remove.
+_UNHINTED_MAX_MSG = 128 * KiB
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """One connection shared by all functions with identical choices."""
+
+    index: int                  # service-id offset from the base
+    transport: str              # 'rdma' | 'tcp'
+    protocol: str               # protocols registry name ('' for tcp)
+    server_poll: PollMode
+    client_poll: PollMode
+    server_numa: bool
+    client_numa: bool
+    max_msg: int
+    #: largest expected response on this channel (sizes RFP's first READ)
+    resp_size: int
+    functions: tuple            # function names routed here
+    #: True when derived from hints (enables hint-only tuning like RFP
+    #: slot sizing); pinned baseline plans keep stock settings.
+    hinted: bool = True
+
+    def key(self):
+        return (self.transport, self.protocol, self.server_poll,
+                self.client_poll, self.server_numa, self.client_numa)
+
+
+@dataclass(frozen=True)
+class FunctionRoute:
+    channel: int                # ChannelPlan.index
+    resp_hint: int              # expected response size (server payload hint)
+    server_hints: ResolvedHints
+    client_hints: ResolvedHints
+    choice: ProtocolChoice
+
+
+@dataclass(frozen=True)
+class ServicePlan:
+    service: str
+    channels: tuple             # of ChannelPlan
+    routes: Mapping[str, FunctionRoute]
+
+    def channel_for(self, fn: str) -> ChannelPlan:
+        return self.channels[self.routes[fn].channel]
+
+
+def build_service_plan(service: str,
+                       hint_map: Mapping[str, Any],
+                       function_names: Sequence[str],
+                       concurrency_override: Optional[int] = None
+                       ) -> ServicePlan:
+    """Derive the channel plan for one service.
+
+    ``hint_map`` is the generated ``SERVICE_HINTS[service]`` entry
+    ({'service': {...}, 'functions': {fn: {...}}}).  ``concurrency_override``
+    lets deployments inject the real expected client count when the IDL
+    author left it unspecified.
+    """
+    service_map = hint_map.get("service", {})
+    fn_maps = hint_map.get("functions", {})
+    keyed: Dict[tuple, dict] = {}
+    routes: Dict[str, dict] = {}
+    for fn in function_names:
+        fn_map = fn_maps.get(fn)
+        server = resolve_hints(service_map, fn_map, "server")
+        client = resolve_hints(service_map, fn_map, "client")
+        payload_hinted = any(
+            "payload_size" in layer
+            for layer in (service_map.get("shared", {}),
+                          service_map.get("server", {}),
+                          service_map.get("client", {}),
+                          *((fn_map or {}).values())))
+        if concurrency_override is not None:
+            server = replace(server, concurrency=concurrency_override)
+            client = replace(client, concurrency=concurrency_override)
+        sel_payload = max(server.payload_size, client.payload_size)
+        wire = select_protocol(replace(server, payload_size=sel_payload))
+        client_choice = select_protocol(replace(client,
+                                                payload_size=sel_payload))
+        # Channels segregate by payload class too: bulk-data functions
+        # never inflate the pinned buffer geometry of small-message ones.
+        small = sel_payload <= SMALL_MESSAGE_THRESHOLD
+        key = (wire.transport, wire.protocol, wire.poll_mode,
+               client_choice.poll_mode, server.numa_binding,
+               client.numa_binding, small)
+        entry = keyed.setdefault(key, {"functions": [], "max_msg": 0,
+                                       "resp": 0})
+        entry["functions"].append(fn)
+        floor = sel_payload if payload_hinted else max(sel_payload,
+                                                       _UNHINTED_MAX_MSG)
+        entry["max_msg"] = max(entry["max_msg"], floor + _MAX_MSG_SLACK)
+        entry["resp"] = max(entry["resp"], server.payload_size)
+        routes[fn] = {"key": key, "resp_hint": server.payload_size,
+                      "server": server, "client": client, "choice": wire}
+
+    channels = []
+    key_to_index = {}
+    for i, (key, entry) in enumerate(sorted(keyed.items(),
+                                            key=lambda kv: repr(kv[0]))):
+        transport, protocol, s_poll, c_poll, s_numa, c_numa, _small = key
+        channels.append(ChannelPlan(
+            index=i, transport=transport, protocol=protocol,
+            server_poll=s_poll, client_poll=c_poll,
+            server_numa=s_numa, client_numa=c_numa,
+            max_msg=entry["max_msg"],
+            resp_size=entry["resp"],
+            functions=tuple(entry["functions"])))
+        key_to_index[key] = i
+    final_routes = {
+        fn: FunctionRoute(channel=key_to_index[r["key"]],
+                          resp_hint=r["resp_hint"],
+                          server_hints=r["server"],
+                          client_hints=r["client"],
+                          choice=r["choice"])
+        for fn, r in routes.items()
+    }
+    return ServicePlan(service=service, channels=tuple(channels),
+                       routes=final_routes)
+
+
+def pinned_plan(service: str, function_names: Sequence[str], protocol: str,
+                poll_mode: PollMode, max_msg: int,
+                numa_local: bool = True,
+                resp_hint: int = 4 * KiB) -> ServicePlan:
+    """A one-channel plan with a fixed protocol + polling, ignoring hints.
+
+    This is how the paper's per-protocol baselines (e.g. "Thrift over
+    Hybrid-EagerRNDV") are expressed: the same generated code and runtime,
+    with the hint machinery bypassed.
+    """
+    transport = "tcp" if protocol == "tcp" else "rdma"
+    channel = ChannelPlan(index=0, transport=transport,
+                          protocol="" if transport == "tcp" else protocol,
+                          server_poll=poll_mode, client_poll=poll_mode,
+                          server_numa=numa_local, client_numa=numa_local,
+                          max_msg=max_msg, resp_size=resp_hint,
+                          functions=tuple(function_names), hinted=False)
+    from repro.core.selector import ProtocolChoice
+    choice = ProtocolChoice(transport, channel.protocol, poll_mode,
+                            "pinned baseline")
+    routes = {fn: FunctionRoute(channel=0, resp_hint=resp_hint,
+                                server_hints=ResolvedHints.from_mapping({}),
+                                client_hints=ResolvedHints.from_mapping({}),
+                                choice=choice)
+              for fn in function_names}
+    return ServicePlan(service=service, channels=(channel,), routes=routes)
+
+
+class HatRpcEngine:
+    """Client-side engine: one protocol/TCP connection per channel plan.
+
+    Static hints configure connections at establishment (buffer geometry,
+    polling); the per-call dynamic hint path is just the function -> route
+    lookup, mirroring the paper's "only pass the pointer and cache the RPC
+    function type" minimization.
+    """
+
+    def __init__(self, node, plan: ServicePlan,
+                 base_service_id: int = 5000):
+        self.node = node
+        self.plan = plan
+        self.base_service_id = base_service_id
+        self._channels: Dict[int, Any] = {}
+        self._connected = False
+        self.calls_routed = 0
+
+    def connect(self, remote_node, eager: bool = False):
+        """Coroutine: bind to the server; channels open lazily on first use.
+
+        Lazy establishment matters: a channel plan may include connections
+        (e.g. a busy-polled latency channel) that a given client never
+        exercises -- opening them eagerly would pin server-side polling
+        threads for nothing.  Pass ``eager=True`` to pre-open everything
+        (connection-setup-sensitive tests).
+        """
+        self._remote_node = remote_node
+        self._connected = True
+        if eager:
+            for ch in self.plan.channels:
+                yield from self._open_channel(ch)
+        return self
+
+    def _open_channel(self, ch):
+        from repro.core.runtime import RdmaChannel, TcpChannel  # cycle-free
+        sid = self.base_service_id + ch.index
+        if ch.transport == "tcp":
+            chan = TcpChannel(self.node, self._remote_node, sid)
+            yield from chan.open()
+        else:
+            chan = RdmaChannel(self.node, ch)
+            yield from chan.open(self._remote_node, sid)
+        self._channels[ch.index] = chan
+        return chan
+
+    def call(self, fn_name: str, message: bytes, oneway: bool = False):
+        """Coroutine: route one serialized message; returns response bytes."""
+        if not self._connected:
+            raise RuntimeError("engine not connected")
+        route = self.plan.routes.get(fn_name)
+        if route is None:
+            raise KeyError(f"function {fn_name!r} not in service plan "
+                           f"for {self.plan.service!r}")
+        chan = self._channels.get(route.channel)
+        if chan is None:
+            chan = yield from self._open_channel(
+                self.plan.channels[route.channel])
+        self.calls_routed += 1
+        return (yield from chan.call(message, resp_hint=route.resp_hint,
+                                     oneway=oneway))
+
+    def close(self) -> None:
+        for chan in self._channels.values():
+            chan.close()

@@ -1,0 +1,117 @@
+"""Per-call RPC tracing.
+
+A :class:`Tracer` attached to a :class:`~repro.core.engine.HatRpcEngine`
+records one span per routed call -- function, channel, protocol, request /
+response sizes, and simulated start/end times -- and summarizes them per
+function.  Useful for verifying what the hint machinery actually did in an
+application (see ``examples/quickstart.py``-style plan inspection for the
+static view; spans are the dynamic one).
+
+Zero overhead when not attached: the engine only calls into a tracer when
+one is installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["CallSpan", "FunctionSummary", "Tracer", "attach_tracer"]
+
+
+@dataclass(frozen=True)
+class CallSpan:
+    """One routed RPC call."""
+
+    function: str
+    channel: int
+    protocol: str
+    transport: str
+    request_bytes: int
+    response_bytes: int
+    start: float
+    end: float
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class FunctionSummary:
+    function: str
+    calls: int = 0
+    total_latency: float = 0.0
+    request_bytes: int = 0
+    response_bytes: int = 0
+    protocols: set = field(default_factory=set)
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.calls if self.calls else 0.0
+
+
+class Tracer:
+    """Collects spans; attach with :func:`attach_tracer`."""
+
+    def __init__(self, max_spans: Optional[int] = None):
+        self.max_spans = max_spans
+        self.spans: List[CallSpan] = []
+        self.dropped = 0
+
+    def record(self, span: CallSpan) -> None:
+        if self.max_spans is not None and len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    def by_function(self) -> Dict[str, FunctionSummary]:
+        out: Dict[str, FunctionSummary] = {}
+        for span in self.spans:
+            s = out.setdefault(span.function,
+                               FunctionSummary(span.function))
+            s.calls += 1
+            s.total_latency += span.latency
+            s.request_bytes += span.request_bytes
+            s.response_bytes += span.response_bytes
+            s.protocols.add(span.protocol or span.transport)
+        return out
+
+    def summary_lines(self) -> List[str]:
+        lines = [f"{'function':16s} {'calls':>6s} {'mean lat':>10s} "
+                 f"{'req B':>10s} {'resp B':>10s}  protocols"]
+        for name, s in sorted(self.by_function().items()):
+            lines.append(
+                f"{name:16s} {s.calls:6d} {s.mean_latency * 1e6:8.2f}us "
+                f"{s.request_bytes:10d} {s.response_bytes:10d}  "
+                f"{','.join(sorted(s.protocols))}")
+        if self.dropped:
+            lines.append(f"({self.dropped} spans dropped at "
+                         f"max_spans={self.max_spans})")
+        return lines
+
+
+def attach_tracer(engine, tracer: Optional[Tracer] = None) -> Tracer:
+    """Wrap an engine's ``call`` so every routed RPC records a span."""
+    tracer = tracer or Tracer()
+    inner = engine.call
+
+    def traced_call(fn_name: str, message: bytes, oneway: bool = False):
+        route = engine.plan.routes.get(fn_name)
+        start = engine.node.sim.now
+        resp = yield from inner(fn_name, message, oneway=oneway)
+        ch = (engine.plan.channels[route.channel]
+              if route is not None else None)
+        tracer.record(CallSpan(
+            function=fn_name,
+            channel=ch.index if ch else -1,
+            protocol=ch.protocol if ch else "",
+            transport=ch.transport if ch else "",
+            request_bytes=len(message),
+            response_bytes=len(resp or b""),
+            start=start,
+            end=engine.node.sim.now))
+        return resp
+
+    engine.call = traced_call
+    return tracer

@@ -1,0 +1,14 @@
+"""Emulated comparator RPC systems for the YCSB evaluation (Section 5.4).
+
+The paper: "Since the four systems design their own backends and have
+different data layouts, it is hard to unify them.  Therefore, we only study
+their communication protocols and emulate them in this evaluation.  We make
+all six candidates share the same backend implementation to avoid unfair
+comparison."  This package does exactly that: each comparator is the same
+generated KVService + LMDB backend, pinned to that system's communication
+scheme, with the hint machinery and backend tuning disabled.
+"""
+
+from repro.emul.systems import SYSTEMS, YcsbSystem, start_system
+
+__all__ = ["SYSTEMS", "YcsbSystem", "start_system"]

@@ -1,0 +1,28 @@
+"""HatKV: the key-value store co-designed with HatRPC and LMDB (Section 4.4).
+
+The pieces map one-to-one onto Figure 10:
+
+* :mod:`repro.hatkv.idl` -- the KVService IDL with the paper's hint sets
+  (service-level ``concurrency``/``perf_goal``; per-function payload-size
+  hints sized for GET/PUT/MultiGET/MultiPUT with 24-byte keys, 1000-byte
+  values, batch 10);
+* :mod:`repro.hatkv.backend` -- the LMDB adapter, including the hint-driven
+  backend tuning the paper describes (max_readers from the concurrency
+  hint; sync/commit strategy keyed to the chosen protocol's goal);
+* :mod:`repro.hatkv.server` / :mod:`repro.hatkv.client` -- the HatRPC
+  service assembly.
+"""
+
+from repro.hatkv.idl import hatkv_idl, load_hatkv_module
+from repro.hatkv.backend import BackendCosts, LmdbBackend
+from repro.hatkv.server import HatKVServer
+from repro.hatkv.client import connect_hatkv
+
+__all__ = [
+    "BackendCosts",
+    "HatKVServer",
+    "LmdbBackend",
+    "connect_hatkv",
+    "hatkv_idl",
+    "load_hatkv_module",
+]

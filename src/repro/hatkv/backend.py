@@ -1,0 +1,191 @@
+"""LMDB backend adapter: simulated costs + hint-driven tuning.
+
+The paper stores LMDB's lock and data files in tmpfs with a 32 GB map
+(Section 5.4), so backend cost is CPU + memory, not disk.  The adapter
+charges per-operation simulated time derived from the live tree shape:
+
+* a lookup touches ``depth`` pages (bisect within cache-resident pages);
+* a write additionally path-copies ``depth`` pages (LMDB's copy-on-write);
+* values are copied once between LMDB and the RPC layer;
+* commits pay a sync barrier priced by the environment's sync mode.
+
+Hint-driven tuning (Section 4.4): ``max_readers`` is set from the
+concurrency hint, and the sync/commit strategy follows the perf goal of the
+protocol chosen for the writing functions -- latency keeps NOSYNC immediate
+commits, throughput batches commits (group commit), res_util keeps SYNC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hints import ResolvedHints
+from repro.lmdb import Environment, SyncMode
+from repro.sim.cluster import Node
+from repro.sim.sync import Resource
+from repro.sim.units import GiB, us
+
+__all__ = ["BackendCosts", "LmdbBackend"]
+
+
+@dataclass(frozen=True)
+class BackendCosts:
+    """Per-operation CPU cost constants (tmpfs-resident LMDB)."""
+
+    page_touch: float = 0.08 * us      # one B+Tree page visit (bisect, cached)
+    page_copy: float = 0.10 * us       # COW page copy on the write path
+    value_copy_rate: float = 12e9      # bytes/s for value in/out copies
+    commit_nosync: float = 0.2 * us    # root-pointer swap
+    commit_sync: float = 5.0 * us      # + msync barrier into tmpfs
+    txn_begin: float = 0.1 * us
+
+
+class LmdbBackend:
+    """A simulated-time facade over one LMDB environment on one node."""
+
+    def __init__(self, node: Node, map_size: int = 32 * GiB,
+                 costs: BackendCosts | None = None):
+        self.node = node
+        self.costs = costs or BackendCosts()
+        self.env = Environment(map_size=map_size, sync_mode=SyncMode.NOSYNC)
+        self.env.open_db("main")
+        # LMDB's writer mutex, realized on the simulated clock so handler
+        # coroutines queue instead of erroring.
+        self._writer = Resource(node.sim, 1)
+        self._group_commit = False
+        self._pending_since_commit = 0
+        self.group_commit_batch = 8
+        self.reads = 0
+        self.writes = 0
+
+    # -- hint-driven tuning (S4.4) -----------------------------------------------
+    def apply_hints(self, hints: ResolvedHints) -> None:
+        """Tune the backend from the service's resolved (server) hints."""
+        self.env.max_readers = max(hints.concurrency, 1)
+        if hints.perf_goal == "throughput":
+            self._group_commit = True
+            self.env.sync_mode = SyncMode.NOSYNC
+        elif hints.perf_goal == "latency":
+            self._group_commit = False
+            self.env.sync_mode = SyncMode.NOSYNC
+        else:  # res_util keeps durability
+            self._group_commit = False
+            self.env.sync_mode = SyncMode.SYNC
+
+    # -- cost helpers -----------------------------------------------------------------
+    def _depth(self) -> int:
+        return self.env.stat().depth
+
+    def _charge(self, cpu_seconds: float):
+        yield self.node.compute(cpu_seconds)
+
+    def _commit_cost(self) -> float:
+        if self.env.sync_mode is SyncMode.NOSYNC:
+            base = self.costs.commit_nosync
+        else:
+            base = self.costs.commit_sync
+        if self._group_commit:
+            # Amortized: one barrier per batch of commits.
+            return base / self.group_commit_batch + self.costs.commit_nosync
+        return base
+
+    def _begin_read(self):
+        """Coroutine: begin a read txn, waiting out a full reader table.
+
+        An untuned environment (stock max_readers=126) can saturate under
+        128+ concurrent handlers -- part of why the concurrency hint
+        matters for the backend (Section 4.4).
+        """
+        from repro.lmdb import ReadersFullError
+        while True:
+            try:
+                return self.env.begin()
+            except ReadersFullError:
+                yield self.node.sim.timeout(2 * us)
+
+    # -- operations (coroutines) ----------------------------------------------------------
+    def get(self, key: bytes):
+        c = self.costs
+        yield from self._charge(c.txn_begin + self._depth() * c.page_touch)
+        txn = yield from self._begin_read()
+        try:
+            value = txn.get(key)
+        finally:
+            txn.commit()
+        if value is not None:
+            yield from self._charge(len(value) / c.value_copy_rate)
+        self.reads += 1
+        return value
+
+    def multi_get(self, keys):
+        c = self.costs
+        yield from self._charge(c.txn_begin)
+        out = []
+        txn = yield from self._begin_read()
+        try:
+            for key in keys:
+                yield from self._charge(self._depth() * c.page_touch)
+                out.append(txn.get(key))
+        finally:
+            txn.commit()
+        total = sum(len(v) for v in out if v is not None)
+        if total:
+            yield from self._charge(total / c.value_copy_rate)
+        self.reads += len(keys)
+        return out
+
+    def scan(self, start_key: bytes, count: int):
+        """Coroutine: up to ``count`` (key, value) pairs from start_key on."""
+        if count < 0:
+            raise ValueError("negative scan count")
+        c = self.costs
+        yield from self._charge(c.txn_begin + self._depth() * c.page_touch)
+        txn = yield from self._begin_read()
+        try:
+            rows = txn.cursor().scan(lo=start_key, limit=count)
+        finally:
+            txn.commit()
+        total = sum(len(k) + len(v) for k, v in rows)
+        # Sequential leaf walk: one page touch per few entries + copy out.
+        yield from self._charge(len(rows) * c.page_touch / 4
+                                + total / c.value_copy_rate)
+        self.reads += len(rows)
+        return rows
+
+    def put(self, key: bytes, value: bytes):
+        c = self.costs
+        yield self._writer.acquire()
+        try:
+            depth = self._depth()
+            yield from self._charge(
+                c.txn_begin + depth * (c.page_touch + c.page_copy)
+                + len(value) / c.value_copy_rate)
+            with self.env.begin(write=True) as txn:
+                txn.put(key, value)
+            yield from self._charge(self._commit_cost())
+        finally:
+            self._writer.release()
+        self.writes += 1
+
+    def multi_put(self, keys, values):
+        if len(keys) != len(values):
+            raise ValueError("keys/values length mismatch")
+        c = self.costs
+        yield self._writer.acquire()
+        try:
+            # Batched writes sort the keys and walk with a cursor, so the
+            # descent + path copy-on-write amortizes over the batch: one
+            # full descent plus a page copy and value copy per entry.
+            depth = self._depth()
+            total_values = sum(len(v) for v in values)
+            yield from self._charge(
+                c.txn_begin + depth * (c.page_touch + c.page_copy)
+                + len(keys) * c.page_copy
+                + total_values / c.value_copy_rate)
+            with self.env.begin(write=True) as txn:
+                for key, value in sorted(zip(keys, values)):
+                    txn.put(key, value)
+            yield from self._charge(self._commit_cost())
+        finally:
+            self._writer.release()
+        self.writes += len(keys)

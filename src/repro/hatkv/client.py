@@ -1,0 +1,25 @@
+"""HatKV client helper."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import ServicePlan
+from repro.core.runtime import hatrpc_connect
+from repro.hatkv.server import BASE_SID, SERVICE
+
+__all__ = ["connect_hatkv"]
+
+
+def connect_hatkv(node, server_node, gen_module,
+                  concurrency: Optional[int] = None,
+                  plan: Optional[ServicePlan] = None,
+                  base_service_id: int = BASE_SID):
+    """Coroutine: a connected KVService stub.
+
+    All stub methods are coroutines: ``value = yield from stub.Get(key)``.
+    """
+    stub = yield from hatrpc_connect(node, server_node, gen_module, SERVICE,
+                                     base_service_id=base_service_id,
+                                     concurrency=concurrency, plan=plan)
+    return stub

@@ -1,0 +1,57 @@
+"""The KVService IDL of Figure 10, in -Service and -Function variants.
+
+Payload geometry follows Section 5.4: 24-byte keys, 10 fields x 100 bytes
+(=1000-byte values), batch size 10 for the Multi ops.  So per call:
+
+* GET: ~24 B request, ~1 KB response;
+* PUT: ~1 KB request, tiny response;
+* MultiGET: ~240 B request, ~10 KB response;
+* MultiPUT: ~10 KB request, tiny response.
+
+The -Function variant states those asymmetries with lateral c_hint/s_hint
+payload sizes; the -Service variant only sets service-level hints (the
+paper's HatRPC-Service ablation).
+"""
+
+from __future__ import annotations
+
+from repro.idl import load_idl
+
+__all__ = ["hatkv_idl", "load_hatkv_module"]
+
+_COUNTER = [0]
+
+
+def hatkv_idl(variant: str = "function", concurrency: int = 128) -> str:
+    if variant not in ("service", "function"):
+        raise ValueError("variant must be 'service' or 'function'")
+    fn_hints = {
+        "Get": "[ c_hint: payload_size = 64; s_hint: payload_size = 1KB; ]",
+        "Put": "[ c_hint: payload_size = 1KB; s_hint: payload_size = 64; ]",
+        "MultiGet": "[ c_hint: payload_size = 512; "
+                    "s_hint: payload_size = 10KB; ]",
+        "MultiPut": "[ c_hint: payload_size = 10KB; "
+                    "s_hint: payload_size = 64; ]",
+        "Scan": "[ c_hint: payload_size = 64; "
+                "s_hint: payload_size = 10KB; ]",
+    } if variant == "function" else {k: "" for k in
+                                     ("Get", "Put", "MultiGet", "MultiPut",
+                                      "Scan")}
+    return f"""
+// HatKV service (Figure 10).  Variant: HatRPC-{variant.capitalize()}.
+service KVService {{
+    hint: concurrency = {concurrency}, perf_goal = throughput;
+
+    binary Get(1: binary key) {fn_hints['Get']}
+    void Put(1: binary key, 2: binary value) {fn_hints['Put']}
+    list<binary> MultiGet(1: list<binary> keys) {fn_hints['MultiGet']}
+    void MultiPut(1: list<binary> keys, 2: list<binary> values) {fn_hints['MultiPut']}
+    list<binary> Scan(1: binary start_key, 2: i32 count) {fn_hints['Scan']}
+}}
+"""
+
+
+def load_hatkv_module(variant: str = "function", concurrency: int = 128):
+    _COUNTER[0] += 1
+    return load_idl(hatkv_idl(variant, concurrency),
+                    f"hatkv_gen_{variant}_{_COUNTER[0]}")

@@ -1,0 +1,87 @@
+"""HatKV server: generated KVService over HatRPC with an LMDB backend."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import ServicePlan
+from repro.core.hints import resolve_hints
+from repro.core.runtime import HatRpcServer
+from repro.hatkv.backend import LmdbBackend
+from repro.sim.cluster import Node
+from repro.sim.units import GiB
+
+__all__ = ["HatKVServer", "KVHandler"]
+
+SERVICE = "KVService"
+BASE_SID = 6000
+
+
+class KVHandler:
+    """Generated-Iface implementation over the backend (all coroutines)."""
+
+    def __init__(self, backend: LmdbBackend):
+        self.backend = backend
+
+    def Get(self, key):
+        value = yield from self.backend.get(key)
+        return value if value is not None else b""
+
+    def Put(self, key, value):
+        yield from self.backend.put(key, value)
+
+    def MultiGet(self, keys):
+        values = yield from self.backend.multi_get(keys)
+        return [v if v is not None else b"" for v in values]
+
+    def MultiPut(self, keys, values):
+        yield from self.backend.multi_put(keys, values)
+
+    def Scan(self, start_key, count):
+        rows = yield from self.backend.scan(start_key, count)
+        # flatten to [k1, v1, k2, v2, ...] (the IDL carries one list)
+        out = []
+        for k, v in rows:
+            out.append(k)
+            out.append(v)
+        return out
+
+
+class HatKVServer:
+    """One HatKV node: LMDB backend + HatRPC service endpoints."""
+
+    def __init__(self, node: Node, gen_module,
+                 map_size: int = 32 * GiB,
+                 concurrency: Optional[int] = None,
+                 plan: Optional[ServicePlan] = None,
+                 base_service_id: int = BASE_SID,
+                 tune_backend: bool = True):
+        self.node = node
+        self.gen = gen_module
+        self.backend = LmdbBackend(node, map_size=map_size)
+        # Backend co-design: tune LMDB from the service-level server hints
+        # (Section 4.4 -- e.g. max readers from the concurrency hint).
+        # Comparator systems (repro.emul) disable this: they share the
+        # stock backend, as the paper's apples-to-apples setup requires.
+        if tune_backend:
+            service_map = gen_module.SERVICE_HINTS[SERVICE]["service"]
+            hints = resolve_hints(service_map, None, "server")
+            if concurrency is not None:
+                from dataclasses import replace
+                hints = replace(hints, concurrency=concurrency)
+            self.backend.apply_hints(hints)
+        self.handler = KVHandler(self.backend)
+        self.rpc = HatRpcServer(node, gen_module, SERVICE, self.handler,
+                                base_service_id=base_service_id,
+                                concurrency=concurrency, plan=plan)
+
+    def start(self) -> "HatKVServer":
+        self.rpc.start()
+        return self
+
+    def stop(self) -> None:
+        self.rpc.stop()
+
+    @property
+    def requests(self) -> int:
+        return self.rpc.requests

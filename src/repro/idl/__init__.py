@@ -1,0 +1,57 @@
+"""The HatRPC IDL compiler.
+
+Substitutes for the paper's flex/Bison extension of the Apache Thrift
+compiler (Section 4.2): a hand-written lexer and recursive-descent parser
+for the full Thrift IDL grammar *plus* the hierarchical hint extension of
+Figure 7 --
+
+* service-level hint groups declared before the functions,
+* function-level hint groups in brackets after the argument list,
+* each group laterally split by keyword: ``hint`` (shared), ``s_hint``
+  (server), ``c_hint`` (client).
+
+The pipeline mirrors the paper's: scan -> parse (AST) -> validate & merge
+hints -> generate code.  Output is an importable Python module containing
+args/result structs, a client, a processor, an Iface, and the hierarchical
+``SERVICE_HINTS`` map consumed by the HatRPC runtime.
+"""
+
+from repro.idl.lexer import Lexer, LexError, Token, TokenKind
+from repro.idl.nodes import (
+    Document,
+    EnumNode,
+    Field,
+    FunctionNode,
+    Hint,
+    HintGroup,
+    ServiceNode,
+    StructNode,
+    TypeRef,
+)
+from repro.idl.parser import ParseError, Parser, parse
+from repro.idl.validator import HintValidationError, validate_document
+from repro.idl.codegen import compile_idl, generate_python, load_idl
+
+__all__ = [
+    "Document",
+    "EnumNode",
+    "Field",
+    "FunctionNode",
+    "Hint",
+    "HintGroup",
+    "HintValidationError",
+    "LexError",
+    "Lexer",
+    "ParseError",
+    "Parser",
+    "ServiceNode",
+    "StructNode",
+    "Token",
+    "TokenKind",
+    "TypeRef",
+    "compile_idl",
+    "generate_python",
+    "load_idl",
+    "parse",
+    "validate_document",
+]

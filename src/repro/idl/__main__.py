@@ -1,0 +1,95 @@
+"""Command-line entry point: the hatrpc-gen compiler.
+
+Usage::
+
+    python -m repro.idl service.thrift                # emit service_gen.py
+    python -m repro.idl service.thrift -o out/gen.py
+    python -m repro.idl service.thrift --print        # source to stdout
+    python -m repro.idl service.thrift --check        # parse+validate only
+    python -m repro.idl service.thrift --plan         # show channel plan
+    python -m repro.idl service.thrift --lenient      # filter bad hints
+
+Mirrors the workflow of the paper's modified `thrift --gen` compiler.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.idl.codegen import compile_idl, load_idl
+from repro.idl.lexer import LexError
+from repro.idl.parser import ParseError, parse
+from repro.idl.validator import HintValidationError, validate_document
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.idl",
+        description="HatRPC IDL compiler: hint-extended Thrift -> Python")
+    ap.add_argument("input", help="IDL source file (.thrift)")
+    ap.add_argument("-o", "--output", help="output .py path "
+                    "(default: <input stem>_gen.py beside the input)")
+    ap.add_argument("--print", action="store_true", dest="print_source",
+                    help="write the generated module to stdout")
+    ap.add_argument("--check", action="store_true",
+                    help="parse and validate hints only; no code emitted")
+    ap.add_argument("--plan", action="store_true",
+                    help="show the hint-derived channel plan per service")
+    ap.add_argument("--lenient", action="store_true",
+                    help="filter invalid hints with warnings instead of "
+                         "failing (the paper's compiler behaviour)")
+    return ap
+
+
+def main(argv=None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    path = Path(args.input)
+    try:
+        source = path.read_text()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+    strict = not args.lenient
+    try:
+        if args.check or args.plan:
+            doc = parse(source, str(path))
+            _hints, warnings = validate_document(doc, strict=strict)
+            for w in warnings:
+                print(f"warning: {w}", file=sys.stderr)
+            if args.check:
+                n_fns = sum(len(s.functions) for s in doc.services)
+                print(f"{path}: OK ({len(doc.services)} service(s), "
+                      f"{n_fns} function(s), {len(doc.structs)} struct(s))")
+            if args.plan:
+                module = load_idl(source, "plan_probe", str(path),
+                                  strict_hints=strict)
+                from repro.core.runtime import service_plan_of
+                for svc in module.SERVICE_NAMES:
+                    plan = service_plan_of(module, svc)
+                    print(f"service {svc}:")
+                    for ch in plan.channels:
+                        fns = ", ".join(ch.functions)
+                        print(f"  channel {ch.index}: "
+                              f"{ch.transport}/{ch.protocol or 'tcp'} "
+                              f"server={ch.server_poll.value} "
+                              f"client={ch.client_poll.value} "
+                              f"max_msg={ch.max_msg}  [{fns}]")
+            return 0
+        code = compile_idl(source, str(path), strict_hints=strict)
+        if args.print_source:
+            sys.stdout.write(code)
+            return 0
+        out = Path(args.output) if args.output else \
+            path.with_name(path.stem + "_gen.py")
+        out.write_text(code)
+        print(f"wrote {out}")
+        return 0
+    except (LexError, ParseError, HintValidationError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

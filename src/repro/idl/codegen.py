@@ -1,0 +1,472 @@
+"""Python code generation from the hint-extended IDL AST.
+
+For every service the generator emits (mirroring Apache Thrift's Python
+target, Section 4.2 of the paper):
+
+* ``<Fn>_args`` / ``<Fn>_result`` structs with read/write methods,
+* ``<Service>Iface`` -- the handler interface,
+* ``<Service>Client`` -- coroutine method stubs over a TClient,
+* ``<Service>Processor`` -- the server dispatch table,
+* plus module-level enums, consts, typedef comments, struct/exception
+  classes, and the hierarchical ``SERVICE_HINTS`` map the HatRPC runtime
+  consumes.
+
+``compile_idl`` returns the module source; ``load_idl`` execs it into a
+fresh module object so tests and applications can use generated code without
+touching disk.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Any, Dict, List, Optional
+
+from repro.idl.nodes import (
+    Document,
+    Field,
+    FunctionNode,
+    ServiceNode,
+    StructNode,
+    TypeRef,
+)
+from repro.idl.parser import parse
+from repro.idl.validator import validate_document
+
+__all__ = ["compile_idl", "generate_python", "load_idl"]
+
+_BASE_TTYPE = {
+    "bool": "TType.BOOL",
+    "byte": "TType.BYTE",
+    "i8": "TType.BYTE",
+    "i16": "TType.I16",
+    "i32": "TType.I32",
+    "i64": "TType.I64",
+    "double": "TType.DOUBLE",
+    "string": "TType.STRING",
+    "binary": "TType.STRING",
+    "list": "TType.LIST",
+    "set": "TType.SET",
+    "map": "TType.MAP",
+}
+
+
+class CodegenError(ValueError):
+    pass
+
+
+class _TypeEnv:
+    """Typedef/enum/struct name resolution for the generator."""
+
+    def __init__(self, doc: Document):
+        self.typedefs = {t.name: t.type for t in doc.typedefs}
+        self.enums = {e.name for e in doc.enums}
+        self.structs = {s.name: s for s in doc.structs}
+
+    def resolve(self, tref: TypeRef) -> TypeRef:
+        seen = set()
+        while tref.name in self.typedefs:
+            if tref.name in seen:
+                raise CodegenError(f"typedef cycle at {tref.name!r}")
+            seen.add(tref.name)
+            tref = self.typedefs[tref.name]
+        return tref
+
+    def ttype_expr(self, tref: TypeRef) -> str:
+        tref = self.resolve(tref)
+        if tref.name in _BASE_TTYPE:
+            return _BASE_TTYPE[tref.name]
+        if tref.name in self.enums:
+            return "TType.I32"
+        if tref.name in self.structs:
+            return "TType.STRUCT"
+        raise CodegenError(f"unknown type {tref.name!r}")
+
+
+class _Emitter:
+    def __init__(self):
+        self.lines: List[str] = []
+
+    def emit(self, line: str = "", indent: int = 0):
+        self.lines.append("    " * indent + line if line else "")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _write_value(env: _TypeEnv, tref: TypeRef, var: str, out: _Emitter,
+                 ind: int, depth: int = 0) -> None:
+    tref = env.resolve(tref)
+    name = tref.name
+    if name == "bool":
+        out.emit(f"oprot.write_bool({var})", ind)
+    elif name in ("byte", "i8"):
+        out.emit(f"oprot.write_byte({var})", ind)
+    elif name == "i16":
+        out.emit(f"oprot.write_i16({var})", ind)
+    elif name == "i32" or name in env.enums:
+        out.emit(f"oprot.write_i32({var})", ind)
+    elif name == "i64":
+        out.emit(f"oprot.write_i64({var})", ind)
+    elif name == "double":
+        out.emit(f"oprot.write_double({var})", ind)
+    elif name == "string":
+        out.emit(f"oprot.write_string({var})", ind)
+    elif name == "binary":
+        out.emit(f"oprot.write_binary({var})", ind)
+    elif name in ("list", "set"):
+        elem = tref.args[0]
+        kind = "list" if name == "list" else "set"
+        ev = f"_e{depth}"
+        out.emit(f"oprot.write_{kind}_begin({env.ttype_expr(elem)}, "
+                 f"len({var}))", ind)
+        out.emit(f"for {ev} in {var}:", ind)
+        _write_value(env, elem, ev, out, ind + 1, depth + 1)
+        out.emit(f"oprot.write_{kind}_end()", ind)
+    elif name == "map":
+        k, v = tref.args
+        kv, vv = f"_k{depth}", f"_v{depth}"
+        out.emit(f"oprot.write_map_begin({env.ttype_expr(k)}, "
+                 f"{env.ttype_expr(v)}, len({var}))", ind)
+        out.emit(f"for {kv}, {vv} in {var}.items():", ind)
+        _write_value(env, k, kv, out, ind + 1, depth + 1)
+        _write_value(env, v, vv, out, ind + 1, depth + 1)
+        out.emit("oprot.write_map_end()", ind)
+    elif name in env.structs:
+        out.emit(f"{var}.write(oprot)", ind)
+    else:
+        raise CodegenError(f"cannot write type {name!r}")
+
+
+def _read_value(env: _TypeEnv, tref: TypeRef, target: str, out: _Emitter,
+                ind: int, depth: int = 0) -> None:
+    tref = env.resolve(tref)
+    name = tref.name
+    if name == "bool":
+        out.emit(f"{target} = iprot.read_bool()", ind)
+    elif name in ("byte", "i8"):
+        out.emit(f"{target} = iprot.read_byte()", ind)
+    elif name == "i16":
+        out.emit(f"{target} = iprot.read_i16()", ind)
+    elif name == "i32" or name in env.enums:
+        out.emit(f"{target} = iprot.read_i32()", ind)
+    elif name == "i64":
+        out.emit(f"{target} = iprot.read_i64()", ind)
+    elif name == "double":
+        out.emit(f"{target} = iprot.read_double()", ind)
+    elif name == "string":
+        out.emit(f"{target} = iprot.read_string()", ind)
+    elif name == "binary":
+        out.emit(f"{target} = iprot.read_binary()", ind)
+    elif name in ("list", "set"):
+        elem = tref.args[0]
+        sz, i, ev = f"_sz{depth}", f"_i{depth}", f"_e{depth}"
+        kind = "list" if name == "list" else "set"
+        out.emit(f"_et{depth}, {sz} = iprot.read_{kind}_begin()", ind)
+        out.emit(f"{target} = []" if name == "list" else f"{target} = set()",
+                 ind)
+        out.emit(f"for {i} in range({sz}):", ind)
+        _read_value(env, elem, ev, out, ind + 1, depth + 1)
+        if name == "list":
+            out.emit(f"{target}.append({ev})", ind + 1)
+        else:
+            out.emit(f"{target}.add({ev})", ind + 1)
+        out.emit(f"iprot.read_{kind}_end()", ind)
+    elif name == "map":
+        k, v = tref.args
+        sz, i = f"_sz{depth}", f"_i{depth}"
+        kv, vv = f"_k{depth}", f"_v{depth}"
+        out.emit(f"_kt{depth}, _vt{depth}, {sz} = iprot.read_map_begin()", ind)
+        out.emit(f"{target} = {{}}", ind)
+        out.emit(f"for {i} in range({sz}):", ind)
+        _read_value(env, k, kv, out, ind + 1, depth + 1)
+        _read_value(env, v, vv, out, ind + 1, depth + 1)
+        out.emit(f"{target}[{kv}] = {vv}", ind + 1)
+        out.emit("iprot.read_map_end()", ind)
+    elif name in env.structs:
+        out.emit(f"{target} = {name}()", ind)
+        out.emit(f"{target}.read(iprot)", ind)
+    else:
+        raise CodegenError(f"cannot read type {name!r}")
+
+
+def _emit_struct(env: _TypeEnv, node: StructNode, out: _Emitter,
+                 base: Optional[str] = None) -> None:
+    base = base or ("TException" if node.kind == "exception" else "object")
+    out.emit(f"class {node.name}({base}):")
+    out.emit(f'    """IDL {node.kind} {node.name}."""')
+    out.emit()
+    params = ", ".join(f"{f.name}={f.default!r}" for f in node.fields)
+    out.emit(f"    def __init__(self{', ' + params if params else ''}):")
+    if node.kind == "exception":
+        out.emit("        TException.__init__(self)")
+    if not node.fields:
+        out.emit("        pass")
+    for f in node.fields:
+        out.emit(f"        self.{f.name} = {f.name}")
+    out.emit()
+    # -- write --
+    out.emit("    def write(self, oprot):")
+    out.emit(f"        oprot.write_struct_begin({node.name!r})")
+    for f in node.fields:
+        ind = 2
+        if f.required == "required":
+            out.emit(f"        if self.{f.name} is None:", 0)
+            out.emit(f"            raise TProtocolException("
+                     f"TProtocolException.INVALID_DATA, "
+                     f"'required field {node.name}.{f.name} is unset')", 0)
+        out.emit(f"        if self.{f.name} is not None:")
+        out.emit(f"            oprot.write_field_begin({f.name!r}, "
+                 f"{env.ttype_expr(f.type)}, {f.fid})")
+        _write_value(env, f.type, f"self.{f.name}", out, 3)
+        out.emit("            oprot.write_field_end()")
+    out.emit("        oprot.write_field_stop()")
+    out.emit("        oprot.write_struct_end()")
+    out.emit()
+    # -- read --
+    out.emit("    def read(self, iprot):")
+    out.emit("        iprot.read_struct_begin()")
+    out.emit("        while True:")
+    out.emit("            _fname, _ftype, _fid = iprot.read_field_begin()")
+    out.emit("            if _ftype == TType.STOP:")
+    out.emit("                break")
+    first = True
+    for f in node.fields:
+        kw = "if" if first else "elif"
+        first = False
+        out.emit(f"            {kw} _fid == {f.fid} and _ftype == "
+                 f"{env.ttype_expr(f.type)}:")
+        _read_value(env, f.type, f"self.{f.name}", out, 4)
+    if node.fields:
+        out.emit("            else:")
+        out.emit("                iprot.skip(_ftype)")
+    else:
+        out.emit("            iprot.skip(_ftype)")
+    out.emit("            iprot.read_field_end()")
+    out.emit("        iprot.read_struct_end()")
+    out.emit("        return self")
+    out.emit()
+    # -- dunder helpers --
+    names = [f.name for f in node.fields]
+    out.emit("    def __eq__(self, other):")
+    out.emit("        return isinstance(other, self.__class__) and "
+             "self.__dict__ == other.__dict__")
+    out.emit()
+    out.emit("    def __repr__(self):")
+    fields_fmt = ", ".join(f"{n}={{self.{n}!r}}" for n in names)
+    out.emit(f"        return f{('%s(%s)' % (node.name, fields_fmt))!r}")
+    out.emit()
+    out.emit()
+
+
+def _args_struct(fn: FunctionNode) -> StructNode:
+    return StructNode(f"{fn.name}_args", list(fn.args))
+
+
+def _result_struct(env: _TypeEnv, fn: FunctionNode) -> StructNode:
+    fields = []
+    if fn.return_type.name != "void":
+        fields.append(Field(0, "success", fn.return_type))
+    fields.extend(fn.throws)
+    return StructNode(f"{fn.name}_result", fields)
+
+
+def _emit_client(doc_env: _TypeEnv, service: ServiceNode, out: _Emitter,
+                 parent: Optional[ServiceNode]) -> None:
+    base = f"{parent.name}Client" if parent else "TClient"
+    out.emit(f"class {service.name}Client({base}):")
+    out.emit(f'    """Generated client for service {service.name}."""')
+    out.emit()
+    if not service.functions:
+        out.emit("    pass")
+    for fn in service.functions:
+        argnames = ", ".join(f.name for f in fn.args)
+        sig = f"self{', ' + argnames if argnames else ''}"
+        out.emit(f"    def {fn.name}({sig}):")
+        kwargs = ", ".join(f"{f.name}={f.name}" for f in fn.args)
+        if fn.oneway:
+            out.emit(f"        yield from self._send({fn.name!r}, "
+                     f"{fn.name}_args({kwargs}), TMessageType.ONEWAY)")
+            out.emit("        return None")
+            out.emit()
+            continue
+        out.emit(f"        yield from self._send({fn.name!r}, "
+                 f"{fn.name}_args({kwargs}))")
+        out.emit(f"        _r = yield from self._recv({fn.name!r}, "
+                 f"{fn.name}_result())")
+        if fn.return_type.name != "void":
+            out.emit("        if _r.success is not None:")
+            out.emit("            return _r.success")
+        for t in fn.throws:
+            out.emit(f"        if _r.{t.name} is not None:")
+            out.emit(f"            raise _r.{t.name}")
+        if fn.return_type.name != "void":
+            out.emit(f"        raise TApplicationException("
+                     f"TApplicationException.MISSING_RESULT, "
+                     f"'{fn.name} failed: unknown result')")
+        else:
+            out.emit("        return None")
+        out.emit()
+    out.emit()
+
+
+def _emit_iface(service: ServiceNode, out: _Emitter,
+                parent: Optional[ServiceNode]) -> None:
+    base = f"{parent.name}Iface" if parent else "object"
+    out.emit(f"class {service.name}Iface({base}):")
+    out.emit(f'    """Handler interface for service {service.name}."""')
+    out.emit()
+    if not service.functions:
+        out.emit("    pass")
+    for fn in service.functions:
+        argnames = ", ".join(f.name for f in fn.args)
+        sig = f"self{', ' + argnames if argnames else ''}"
+        out.emit(f"    def {fn.name}({sig}):")
+        out.emit(f"        raise NotImplementedError({fn.name!r})")
+        out.emit()
+    out.emit()
+
+
+def _emit_processor(service: ServiceNode, out: _Emitter,
+                    parent: Optional[ServiceNode]) -> None:
+    base = f"{parent.name}Processor" if parent else "TProcessor"
+    out.emit(f"class {service.name}Processor({base}):")
+    out.emit(f'    """Generated processor for service {service.name}."""')
+    out.emit()
+    out.emit("    def __init__(self, handler):")
+    out.emit("        super().__init__(handler)")
+    for fn in service.functions:
+        out.emit(f"        self._process_map[{fn.name!r}] = "
+                 f"self._process_{fn.name}")
+    out.emit()
+    for fn in service.functions:
+        out.emit(f"    def _process_{fn.name}(self, seqid, iprot, oprot):")
+        out.emit(f"        _args = {fn.name}_args()")
+        out.emit("        _args.read(iprot)")
+        out.emit("        iprot.read_message_end()")
+        argpass = "".join(f", _args.{f.name}" for f in fn.args)
+        if fn.oneway:
+            out.emit("        try:")
+            out.emit(f"            yield from self._invoke("
+                     f"{fn.name!r}{argpass})")
+            out.emit("        except Exception:")
+            out.emit("            pass  # oneway: nowhere to report")
+            out.emit("        return False")
+            out.emit()
+            continue
+        out.emit(f"        _result = {fn.name}_result()")
+        out.emit("        try:")
+        if fn.return_type.name != "void":
+            out.emit(f"            _result.success = yield from "
+                     f"self._invoke({fn.name!r}{argpass})")
+        else:
+            out.emit(f"            yield from self._invoke("
+                     f"{fn.name!r}{argpass})")
+        for t in fn.throws:
+            out.emit(f"        except {t.type.name} as _e:")
+            out.emit(f"            _result.{t.name} = _e")
+        out.emit("        except Exception as _e:")
+        out.emit("            _exc = TApplicationException("
+                 "TApplicationException.INTERNAL_ERROR, str(_e))")
+        out.emit(f"            oprot.write_message_begin({fn.name!r}, "
+                 f"TMessageType.EXCEPTION, seqid)")
+        out.emit("            _exc.write(oprot)")
+        out.emit("            oprot.write_message_end()")
+        out.emit("            return True")
+        out.emit(f"        oprot.write_message_begin({fn.name!r}, "
+                 f"TMessageType.REPLY, seqid)")
+        out.emit("        _result.write(oprot)")
+        out.emit("        oprot.write_message_end()")
+        out.emit("        return True")
+        out.emit()
+    out.emit()
+
+
+def generate_python(doc: Document, strict_hints: bool = True,
+                    module_doc: str = "") -> str:
+    """Generate the Python module source for a parsed Document."""
+    env = _TypeEnv(doc)
+    hint_maps, warnings = validate_document(doc, strict=strict_hints)
+    out = _Emitter()
+    out.emit('"""Generated by the HatRPC IDL compiler (repro.idl). '
+             'Do not edit."""')
+    if module_doc:
+        out.emit(f"# {module_doc}")
+    for w in warnings:
+        out.emit(f"# hint warning: {w}")
+    out.emit()
+    out.emit("from repro.thrift import (TType, TMessageType, TClient, "
+             "TProcessor,")
+    out.emit("                          TApplicationException, "
+             "TProtocolException)")
+    out.emit("from repro.thrift.errors import TException")
+    out.emit()
+    out.emit()
+    for enum in doc.enums:
+        out.emit(f"class {enum.name}(object):")
+        out.emit(f'    """IDL enum {enum.name}."""')
+        out.emit()
+        for name, value in enum.members:
+            out.emit(f"    {name} = {value}")
+        names_map = {v: n for n, v in enum.members}
+        out.emit(f"    _VALUES_TO_NAMES = {names_map!r}")
+        out.emit()
+        out.emit()
+    const_env: Dict[str, Any] = {}
+    for const in doc.consts:
+        out.emit(f"{const.name} = {const.value!r}")
+        const_env[const.name] = const.value
+    if doc.consts:
+        out.emit()
+        out.emit()
+    for struct in doc.structs:
+        _emit_struct(env, struct, out)
+    by_name = {s.name: s for s in doc.services}
+    for service in doc.services:
+        parent = None
+        if service.extends:
+            parent = by_name.get(service.extends)
+            if parent is None:
+                raise CodegenError(
+                    f"service {service.name} extends unknown service "
+                    f"{service.extends!r}")
+        for fn in service.functions:
+            _emit_struct(env, _args_struct(fn), out)
+            _emit_struct(env, _result_struct(env, fn), out)
+        _emit_iface(service, out, parent)
+        _emit_client(env, service, out, parent)
+        _emit_processor(service, out, parent)
+    out.emit(f"SERVICE_HINTS = {hint_maps!r}")
+    out.emit()
+    service_names = [s.name for s in doc.services]
+    out.emit(f"SERVICE_NAMES = {service_names!r}")
+    out.emit()
+    fn_names = {}
+    for service in doc.services:
+        names: List[str] = []
+        cursor: Optional[ServiceNode] = service
+        while cursor is not None:
+            names = [f.name for f in cursor.functions] + names
+            cursor = by_name.get(cursor.extends) if cursor.extends else None
+        fn_names[service.name] = names
+    out.emit(f"SERVICE_FUNCTIONS = {fn_names!r}")
+    out.emit()
+    oneway = {s.name: [f.name for f in s.functions if f.oneway]
+              for s in doc.services}
+    out.emit(f"SERVICE_ONEWAY = {oneway!r}")
+    return out.source()
+
+
+def compile_idl(source: str, filename: str = "<idl>",
+                strict_hints: bool = True) -> str:
+    """Parse + validate + generate in one step; returns module source."""
+    return generate_python(parse(source, filename), strict_hints=strict_hints)
+
+
+def load_idl(source: str, module_name: str = "hatrpc_generated",
+             filename: str = "<idl>", strict_hints: bool = True):
+    """Compile IDL source and exec it into a fresh module object."""
+    code = compile_idl(source, filename, strict_hints=strict_hints)
+    module = types.ModuleType(module_name)
+    module.__dict__["__hatrpc_source__"] = code
+    exec(compile(code, f"{module_name}.py", "exec"), module.__dict__)
+    return module

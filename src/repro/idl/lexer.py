@@ -1,0 +1,183 @@
+"""Tokenizer for the hint-extended Thrift IDL.
+
+Equivalent of the paper's modified flex scanner: standard Thrift tokens plus
+the three hint keywords (``hint``, ``s_hint``, ``c_hint``).  Comments come in
+all three Thrift flavors (``//``, ``#``, ``/* ... */``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["LexError", "Lexer", "Token", "TokenKind", "KEYWORDS"]
+
+
+class LexError(SyntaxError):
+    pass
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    DOUBLE = "double"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+#: Thrift reserved words we recognize (subset relevant to the grammar) plus
+#: the HatRPC hint keywords of Figure 7.
+KEYWORDS = frozenset({
+    "include", "namespace", "const", "typedef", "enum", "struct", "union",
+    "exception", "service", "extends", "throws", "oneway", "void",
+    "required", "optional",
+    "bool", "byte", "i8", "i16", "i32", "i64", "double", "string", "binary",
+    "list", "map", "set",
+    # -- HatRPC extension --
+    "hint", "s_hint", "c_hint",
+})
+
+_SYMBOLS = set("{}()[]<>,;:=*")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.value!r}, {self.line}:{self.col})"
+
+
+class Lexer:
+    def __init__(self, source: str, filename: str = "<idl>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _error(self, msg: str) -> LexError:
+        return LexError(f"{self.filename}:{self.line}:{self.col}: {msg}")
+
+    def _peek(self, ahead: int = 0) -> str:
+        # "\0" (never present in source) rather than "" at EOF: the empty
+        # string is a substring of everything, so `self._peek() in "+-"`
+        # style checks would otherwise loop forever at end of input.
+        i = self.pos + ahead
+        return self.source[i] if i < len(self.source) else "\0"
+
+    def _advance(self, n: int = 1) -> str:
+        out = self.source[self.pos:self.pos + n]
+        for ch in out:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += n
+        return out
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "#" or (ch == "/" and self._peek(1) == "/"):
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            line, col = self.line, self.col
+            if self.pos >= len(self.source):
+                yield Token(TokenKind.EOF, "", line, col)
+                return
+            ch = self._peek()
+            if ch.isalpha() or ch == "_":
+                yield self._ident(line, col)
+            elif ch.isdigit() or (ch in "+-" and self._peek(1).isdigit()):
+                yield self._number(line, col)
+            elif ch in "\"'":
+                yield self._string(line, col)
+            elif ch in _SYMBOLS:
+                self._advance()
+                yield Token(TokenKind.SYMBOL, ch, line, col)
+            else:
+                raise self._error(f"unexpected character {ch!r}")
+
+    def _ident(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.source) and (
+                self._peek().isalnum() or self._peek() in "._"):
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, col)
+
+    def _number(self, line: int, col: int) -> Token:
+        start = self.pos
+        if self._peek() in "+-":
+            self._advance()
+        seen_dot = seen_exp = False
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                self._advance()
+            elif ch in "eE" and not seen_exp:
+                seen_exp = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+            elif ch in "xX" and self.source[start:self.pos] in ("0", "+0", "-0"):
+                self._advance()
+                while self._peek() in "0123456789abcdefABCDEF":
+                    self._advance()
+                return Token(TokenKind.INT, self.source[start:self.pos],
+                             line, col)
+            else:
+                break
+        text = self.source[start:self.pos]
+        kind = TokenKind.DOUBLE if (seen_dot or seen_exp) else TokenKind.INT
+        return Token(kind, text, line, col)
+
+    def _string(self, line: int, col: int) -> Token:
+        quote = self._advance()
+        out: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated string literal")
+            ch = self._advance()
+            if ch == quote:
+                break
+            if ch == "\\":
+                esc = self._advance()
+                out.append({"n": "\n", "t": "\t", "r": "\r",
+                            "\\": "\\", quote: quote}.get(esc, esc))
+            else:
+                out.append(ch)
+        return Token(TokenKind.STRING, "".join(out), line, col)
+
+
+def tokenize(source: str, filename: str = "<idl>") -> List[Token]:
+    return list(Lexer(source, filename).tokens())

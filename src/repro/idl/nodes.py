@@ -1,0 +1,137 @@
+"""AST node classes for the hint-extended Thrift IDL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "ConstNode",
+    "Document",
+    "EnumNode",
+    "Field",
+    "FunctionNode",
+    "Hint",
+    "HintGroup",
+    "ServiceNode",
+    "StructNode",
+    "TypeRef",
+    "TypedefNode",
+]
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A type use: base type, container, or a named (struct/enum/typedef) type.
+
+    ``name`` is one of the base type keywords, ``list``/``set``/``map``, or a
+    user identifier; container element types live in ``args``.
+    """
+
+    name: str
+    args: tuple = ()
+
+    @property
+    def is_container(self) -> bool:
+        return self.name in ("list", "set", "map")
+
+    def __str__(self) -> str:
+        if self.args:
+            return f"{self.name}<{', '.join(map(str, self.args))}>"
+        return self.name
+
+
+@dataclass
+class Hint:
+    """One ``key = value`` pair."""
+
+    key: str
+    value: Any
+    line: int = 0
+
+
+@dataclass
+class HintGroup:
+    """A ``hint:``/``s_hint:``/``c_hint:`` declaration (one 'HintGroup' of
+    Fig. 7).  ``side`` is 'shared', 'server', or 'client'."""
+
+    side: str
+    hints: List[Hint] = field(default_factory=list)
+
+
+@dataclass
+class Field:
+    fid: int
+    name: str
+    type: TypeRef
+    required: Optional[str] = None   # 'required' | 'optional' | None
+    default: Any = None
+
+
+@dataclass
+class FunctionNode:
+    name: str
+    return_type: TypeRef            # TypeRef("void") for void
+    args: List[Field] = field(default_factory=list)
+    throws: List[Field] = field(default_factory=list)
+    oneway: bool = False
+    hint_groups: List[HintGroup] = field(default_factory=list)
+
+
+@dataclass
+class ServiceNode:
+    name: str
+    extends: Optional[str] = None
+    hint_groups: List[HintGroup] = field(default_factory=list)
+    functions: List[FunctionNode] = field(default_factory=list)
+
+
+@dataclass
+class StructNode:
+    name: str
+    fields: List[Field] = field(default_factory=list)
+    kind: str = "struct"            # 'struct' | 'union' | 'exception'
+
+
+@dataclass
+class EnumNode:
+    name: str
+    members: List[tuple] = field(default_factory=list)  # (name, value)
+
+
+@dataclass
+class TypedefNode:
+    name: str
+    type: TypeRef
+
+
+@dataclass
+class ConstNode:
+    name: str
+    type: TypeRef
+    value: Any
+
+
+@dataclass
+class Document:
+    """A parsed IDL file."""
+
+    namespaces: Dict[str, str] = field(default_factory=dict)
+    includes: List[str] = field(default_factory=list)
+    typedefs: List[TypedefNode] = field(default_factory=list)
+    consts: List[ConstNode] = field(default_factory=list)
+    enums: List[EnumNode] = field(default_factory=list)
+    structs: List[StructNode] = field(default_factory=list)
+    services: List[ServiceNode] = field(default_factory=list)
+
+    def struct(self, name: str) -> StructNode:
+        for s in self.structs:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def service(self, name: str) -> ServiceNode:
+        for s in self.services:
+            if s.name == name:
+                return s
+        raise KeyError(name)

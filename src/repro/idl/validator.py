@@ -1,0 +1,70 @@
+"""Hint validation and merging (the check/merge/analysis step of Fig. 8).
+
+After parsing, the code generator 'first check[s] the validity of each hint
+key-value pair, filtering out the hints that have undefined types or
+unsupported values.  Then a merging process will group common hints from the
+same level' (Section 4.2).  ``validate_document`` implements exactly that:
+
+* strict mode raises on the first invalid hint (developer-facing);
+* non-strict mode drops invalid hints and reports them as warnings
+  (the paper's filtering behaviour).
+
+The result is the hierarchical hint map embedded in generated modules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.core.hints import HintError, merge_hint_groups, validate_hint
+from repro.idl.nodes import Document, ServiceNode
+
+__all__ = ["HintValidationError", "validate_document", "validate_service"]
+
+
+class HintValidationError(HintError):
+    pass
+
+
+def _validate_merged(merged: Dict[str, Dict[str, Any]], where: str,
+                     strict: bool, warnings: List[str]) -> Dict[str, Dict[str, Any]]:
+    clean: Dict[str, Dict[str, Any]] = {}
+    for side, pairs in merged.items():
+        kept = {}
+        for key, value in pairs.items():
+            try:
+                kept[key] = validate_hint(key, value)
+            except HintError as e:
+                if strict:
+                    raise HintValidationError(f"{where}: {e}") from None
+                warnings.append(f"{where}: dropped hint {key}={value!r} ({e})")
+        if kept:
+            clean[side] = kept
+    return clean
+
+
+def validate_service(service: ServiceNode, strict: bool = True,
+                     warnings: List[str] | None = None) -> Dict[str, Any]:
+    """Validate+merge one service's hints into the hierarchical map."""
+    warnings = warnings if warnings is not None else []
+    service_map = _validate_merged(
+        merge_hint_groups(service.hint_groups),
+        f"service {service.name}", strict, warnings)
+    functions = {}
+    for fn in service.functions:
+        fn_map = _validate_merged(
+            merge_hint_groups(fn.hint_groups),
+            f"function {service.name}.{fn.name}", strict, warnings)
+        if fn_map:
+            functions[fn.name] = fn_map
+    return {"service": service_map, "functions": functions}
+
+
+def validate_document(doc: Document, strict: bool = True
+                      ) -> Tuple[Dict[str, Dict[str, Any]], List[str]]:
+    """Validate every service; returns ({service_name: map}, warnings)."""
+    warnings: List[str] = []
+    out = {}
+    for service in doc.services:
+        out[service.name] = validate_service(service, strict, warnings)
+    return out, warnings

@@ -1,0 +1,61 @@
+"""Cursors: ordered traversal over a transaction's snapshot."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.lmdb.btree import BTree
+
+__all__ = ["Cursor"]
+
+
+class Cursor:
+    """Forward iteration with range seeks over one tree version.
+
+    The cursor is pinned to the snapshot of the transaction that created
+    it; concurrent commits never affect an open cursor.
+    """
+
+    def __init__(self, tree: BTree):
+        self._tree = tree
+        self._iter: Optional[Iterator[Tuple[bytes, bytes]]] = None
+        self._current: Optional[Tuple[bytes, bytes]] = None
+
+    # -- positioning -----------------------------------------------------------
+    def first(self) -> Optional[Tuple[bytes, bytes]]:
+        self._iter = self._tree.items()
+        return self.next()
+
+    def seek(self, key: bytes) -> Optional[Tuple[bytes, bytes]]:
+        """Position at the first entry >= key (MDB_SET_RANGE)."""
+        self._iter = self._tree.items(lo=key)
+        return self.next()
+
+    def next(self) -> Optional[Tuple[bytes, bytes]]:
+        if self._iter is None:
+            return self.first()
+        try:
+            self._current = next(self._iter)
+        except StopIteration:
+            self._current = None
+        return self._current
+
+    @property
+    def current(self) -> Optional[Tuple[bytes, bytes]]:
+        return self._current
+
+    # -- bulk helpers ------------------------------------------------------------
+    def scan(self, lo: Optional[bytes] = None, hi: Optional[bytes] = None,
+             limit: Optional[int] = None) -> list[Tuple[bytes, bytes]]:
+        """Collect up to ``limit`` entries in [lo, hi)."""
+        out = []
+        if limit is not None and limit <= 0:
+            return out
+        for k, v in self._tree.items(lo=lo, hi=hi):
+            out.append((k, v))
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def __iter__(self) -> Iterator[Tuple[bytes, bytes]]:
+        return self._tree.items()

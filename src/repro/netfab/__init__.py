@@ -1,0 +1,25 @@
+"""Network fabric: links, ports, and a kernel-TCP (IPoIB) byte-stream stack.
+
+The fabric models the physical InfiniBand EDR network of the testbed: each
+node owns one full-duplex 100 Gbps port into a central switch.  Two users sit
+on top of it:
+
+* :mod:`repro.verbs` -- the simulated RDMA NIC, which adds NIC-level costs
+  (WQE processing, doorbells, DMA) on top of raw wire time; and
+* :mod:`repro.netfab.tcp` -- a kernel TCP stack over IPoIB, which adds
+  syscall/memcpy/interrupt costs and a reduced effective rate, used by the
+  vanilla Thrift ``TSocket`` baseline.
+"""
+
+from repro.netfab.fabric import Fabric, FabricParams, Port
+from repro.netfab.tcp import TcpConn, TcpListener, TcpParams, TcpStack
+
+__all__ = [
+    "Fabric",
+    "FabricParams",
+    "Port",
+    "TcpConn",
+    "TcpListener",
+    "TcpParams",
+    "TcpStack",
+]

@@ -1,0 +1,98 @@
+"""The switched fabric: per-node full-duplex ports and wire timing.
+
+Model
+-----
+Every node has one port with independent TX and RX sides.  Sending ``n``
+bytes from A to B:
+
+1. occupies A's TX side for ``n / rate`` (serialization onto the wire),
+2. propagates for ``wire_latency`` (cables + one switch hop),
+3. occupies B's RX side for ``n / rate`` (arrival serialization -- this is
+   what produces incast queueing when many clients target one server).
+
+Steady-state pipelined throughput of a flow is the full link ``rate``
+(successive messages overlap stages); single-message latency is
+``2*n/rate + wire_latency``, which slightly over-counts serialization for a
+store-and-forward switch -- absorbed into calibration, since only relative
+protocol behaviour matters for the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.core import Simulator
+from repro.sim.cluster import Cluster, Node
+from repro.sim.sync import Resource
+from repro.sim.units import Gbps, us
+
+__all__ = ["Fabric", "FabricParams", "Port"]
+
+
+@dataclass(frozen=True)
+class FabricParams:
+    """Physical-layer constants (InfiniBand EDR, Section 5.1)."""
+
+    link_rate: float = 100 * Gbps   # bytes/second payload rate
+    wire_latency: float = 1.0 * us  # one-way propagation incl. switch hop
+    per_message_wire_overhead: int = 30  # headers/CRC bytes per message
+
+
+class Port:
+    """One node's full-duplex attachment to the switch."""
+
+    def __init__(self, sim: Simulator, node: Node, params: FabricParams):
+        self.sim = sim
+        self.node = node
+        self.params = params
+        self.tx = Resource(sim, 1)
+        self.rx = Resource(sim, 1)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+
+    def wire_time(self, nbytes: int) -> float:
+        return (nbytes + self.params.per_message_wire_overhead) / self.params.link_rate
+
+
+class Fabric:
+    """A single-switch network over a cluster's nodes."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster,
+                 params: FabricParams | None = None):
+        self.sim = sim
+        self.cluster = cluster
+        self.params = params or FabricParams()
+        self.ports: Dict[str, Port] = {
+            node.name: Port(sim, node, self.params) for node in cluster
+        }
+
+    def port_of(self, node: Node) -> Port:
+        return self.ports[node.name]
+
+    def transmit(self, src: Node, dst: Node, nbytes: int,
+                 rate_cap: float | None = None):
+        """Coroutine: move ``nbytes`` from src's NIC to dst's NIC.
+
+        Returns (via StopIteration) the simulated arrival time.  ``rate_cap``
+        lets a slower upper layer (IPoIB TCP) bound its achievable rate below
+        the raw link rate.
+        """
+        if nbytes < 0:
+            raise ValueError("negative transmit size")
+        sp = self.ports[src.name]
+        dp = self.ports[dst.name]
+        ser = sp.wire_time(nbytes)
+        if rate_cap is not None:
+            ser = max(ser, nbytes / rate_cap)
+        # Loopback still costs serialization through the NIC but skips the
+        # wire; real IB HCAs loop back internally.
+        yield from sp.tx.use(ser)
+        sp.bytes_sent += nbytes
+        sp.messages_sent += 1
+        if src is not dst:
+            yield self.sim.timeout(self.params.wire_latency)
+            yield from dp.rx.use(ser)
+        dp.bytes_received += nbytes
+        return self.sim.now

@@ -1,0 +1,43 @@
+"""The RDMA RPC protocols of the paper's Section 3 (Figure 3).
+
+Nine representative protocols plus the Hybrid-EagerRNDV baseline, all built
+on :mod:`repro.verbs` and exposing one uniform request/response interface
+(:class:`~repro.protocols.base.RpcClient` /
+:class:`~repro.protocols.base.RpcServer`):
+
+================== ===========================================================
+name               scheme (Figure 3)
+================== ===========================================================
+eager_sendrecv     (a) SEND into pre-posted ring slots; memcpy both sides
+direct_write_send  (b) RDMA WRITE to pre-known buffer + separate SEND notify
+chained_write_send (c) same, WRITE+SEND chained into one doorbell
+write_rndv         (d) RTS/CTS handshake, payload via RDMA WRITE(+IMM)
+read_rndv          (e) RTS with source rkey, target RDMA READs, FIN
+direct_writeimm    (f) single RDMA WRITE_WITH_IMM to pre-known buffer
+pilaf              (g) request via SEND; response fetched with 3 RDMA READs
+farm               (h) request WRITE + server memory polling; 2-READ response
+rfp                (i) request WRITE + memory polling; 1-READ response
+hybrid_eager_rndv  eager below 4 KB, Write-RNDV above (vanilla RDMA baseline)
+================== ===========================================================
+"""
+
+from repro.protocols.base import (
+    HDR_BYTES,
+    ProtoConfig,
+    ProtocolError,
+    RpcClient,
+    RpcServer,
+    get_protocol,
+    protocol_names,
+)
+from repro.protocols import directwrite, serverbypass, twosided  # registers
+
+__all__ = [
+    "HDR_BYTES",
+    "ProtoConfig",
+    "ProtocolError",
+    "RpcClient",
+    "RpcServer",
+    "get_protocol",
+    "protocol_names",
+]

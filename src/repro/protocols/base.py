@@ -1,0 +1,257 @@
+"""Shared machinery for the RDMA RPC protocols.
+
+Every protocol is a pair of classes:
+
+* a client: ``Client(device, cfg)`` with coroutines ``connect(node,
+  service_id)`` and ``call(request, resp_hint=...) -> bytes``;
+* a server: ``Server(device, service_id, handler, cfg)`` whose ``start()``
+  spawns the accept loop; one serve-loop process runs per connection (the
+  per-connection server threads of a threaded Thrift server).
+
+Connections are *single-outstanding-call*: exactly the contract of a
+synchronous Thrift client.  Concurrency comes from many connections, as in
+the paper's throughput benchmarks.
+
+Control messages use one fixed 32-byte wire format (kind, seq, length,
+addr, rkey) -- large enough for rendezvous metadata, small enough to ride in
+any eager slot.
+"""
+
+from __future__ import annotations
+
+import inspect
+import struct
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Type
+
+from repro.sim.units import KiB
+from repro.verbs.cq import CQ, PollMode
+from repro.verbs.device import Device
+from repro.verbs import cm
+from repro.verbs.types import WC, WCStatus
+
+__all__ = [
+    "CTRL",
+    "HDR_BYTES",
+    "ProtoConfig",
+    "ProtocolError",
+    "RpcClient",
+    "RpcServer",
+    "get_protocol",
+    "protocol_names",
+    "register_protocol",
+]
+
+
+class ProtocolError(RuntimeError):
+    """Protocol-level misuse or wire-state corruption."""
+
+
+#: kind(u8) seq(u32) length(u32) addr(u64) rkey(u32) -> padded to 32 bytes.
+CTRL = struct.Struct("<BIIQI")
+HDR_BYTES = 32
+
+# Control-message kinds.
+K_EAGER = 1       # payload follows the header in the same slot
+K_RTS = 2         # rendezvous request-to-send
+K_CTS = 3         # rendezvous clear-to-send (addr/rkey of the target buffer)
+K_FIN = 4         # rendezvous (read flavor) transfer finished
+K_NOTIFY = 5      # direct-write notify (payload already WRITTEN)
+
+
+def pack_ctrl(kind: int, seq: int, length: int, addr: int = 0,
+              rkey: int = 0) -> bytes:
+    return CTRL.pack(kind, seq, length, addr, rkey).ljust(HDR_BYTES, b"\0")
+
+
+def unpack_ctrl(data: bytes):
+    return CTRL.unpack_from(data)
+
+
+@dataclass(frozen=True)
+class ProtoConfig:
+    """Knobs common to all protocols."""
+
+    #: completion-polling discipline for every CQ wait on this endpoint
+    poll_mode: PollMode = PollMode.BUSY
+    #: largest message the connection must carry
+    max_msg: int = 512 * KiB
+    #: pre-posted receive-ring depth
+    ring_slots: int = 64
+    #: eager/rendezvous switch (Hybrid-EagerRNDV threshold, Section 4.3)
+    eager_threshold: int = 4 * KiB
+    #: whether the calling threads are bound to the NIC's NUMA node
+    numa_local: bool = True
+    #: first-READ size for RFP's speculative response fetch
+    rfp_first_read: int = 4 * KiB
+
+    def with_(self, **kw) -> "ProtoConfig":
+        return replace(self, **kw)
+
+
+def check_wc(wc: WC) -> WC:
+    if wc.status is not WCStatus.SUCCESS:
+        raise ProtocolError(f"work completion failed: {wc.status.value}")
+    return wc
+
+
+class RpcClient:
+    """Base class for protocol clients."""
+
+    def __init__(self, device: Device, cfg: Optional[ProtoConfig] = None):
+        self.device = device
+        self.sim = device.sim
+        self.cfg = cfg or ProtoConfig()
+        self.pd = device.alloc_pd()
+        self._in_call = False
+        self.calls = 0
+
+    # subclasses implement:
+    def _setup_blob(self) -> bytes:
+        """Local resources to advertise during the CM handshake."""
+        raise NotImplementedError
+
+    def _finish_setup(self, peer_blob: bytes) -> None:
+        raise NotImplementedError
+
+    def _call(self, request: bytes, resp_hint: int):
+        raise NotImplementedError
+
+    # common paths:
+    def connect(self, remote_node, service_id: int):
+        """Coroutine: establish the connection and exchange buffer metadata."""
+        self.scq = self.device.create_cq()
+        self.rcq = self.device.create_cq()
+        self.qp = self.device.create_qp(self.pd, self.scq, self.rcq)
+        blob = self._setup_blob()
+        peer_blob = yield from cm.connect(self.qp, remote_node, service_id,
+                                          private_data=blob)
+        self._finish_setup(peer_blob)
+        yield from self._post_setup()
+        return self
+
+    def _post_setup(self):
+        """Coroutine hook: pre-post receive rings etc. after the handshake."""
+        return
+        yield  # pragma: no cover
+
+    def call(self, request: bytes, resp_hint: int = 4 * KiB):
+        """Coroutine: one RPC; returns the response bytes."""
+        if self._in_call:
+            raise ProtocolError(
+                "connection already has an outstanding call (protocol "
+                "connections are single-outstanding; use more connections "
+                "for concurrency)")
+        if len(request) > self.cfg.max_msg:
+            raise ProtocolError(
+                f"request of {len(request)} bytes exceeds max_msg "
+                f"{self.cfg.max_msg}")
+        self._in_call = True
+        try:
+            resp = yield from self._call(request, resp_hint)
+        finally:
+            self._in_call = False
+        self.calls += 1
+        return resp
+
+    def _wait(self, cq: CQ, max_wc: int = 16):
+        return (yield from cq.wait(self.cfg.poll_mode, max_wc))
+
+
+class RpcServer:
+    """Base class for protocol servers.
+
+    ``handler`` is either a plain callable ``bytes -> bytes`` or a generator
+    function (coroutine) for handlers that consume simulated time (e.g. the
+    checksum work of the ATB mix benchmark, or HatKV's LMDB calls).
+    """
+
+    endpoint_cls: Type = None  # type: ignore[assignment]
+
+    def __init__(self, device: Device, service_id: int,
+                 handler: Callable, cfg: Optional[ProtoConfig] = None):
+        self.device = device
+        self.sim = device.sim
+        self.service_id = service_id
+        self.handler = handler
+        self._handler_is_gen = inspect.isgeneratorfunction(handler)
+        self.cfg = cfg or ProtoConfig()
+        self.pd = device.alloc_pd()
+        self.listener = None
+        self.connections = 0
+        self.requests = 0
+        self._stopped = False
+
+    def start(self) -> "RpcServer":
+        self.listener = cm.listen(self.device, self.service_id)
+        self.sim.process(self._accept_loop(), name=f"accept-{self.service_id}")
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self.listener is not None:
+            self.listener.close()
+
+    def _accept_loop(self):
+        while not self._stopped:
+            req = yield self.listener.accept()
+            endpoint = self._make_endpoint(req)
+            yield from self._accept(req, endpoint)
+            self.connections += 1
+            self.sim.process(self._serve_loop(endpoint),
+                             name=f"serve-{self.service_id}-{self.connections}")
+
+    # subclasses implement:
+    def _make_endpoint(self, conn_req):
+        raise NotImplementedError
+
+    def _accept(self, conn_req, endpoint):
+        raise NotImplementedError
+
+    def _recv(self, endpoint):
+        raise NotImplementedError
+
+    def _reply(self, endpoint, resp: bytes):
+        raise NotImplementedError
+
+    def _serve_loop(self, endpoint):
+        while True:
+            try:
+                request = yield from self._recv(endpoint)
+            except ProtocolError:
+                return  # connection torn down
+            resp = yield from self._dispatch(request)
+            yield from self._reply(endpoint, resp)
+            self.requests += 1
+
+    def _dispatch(self, request: bytes):
+        if self._handler_is_gen:
+            resp = yield from self.handler(request)
+        else:
+            resp = self.handler(request)
+        return resp
+
+    def _wait(self, cq: CQ, max_wc: int = 16):
+        return (yield from cq.wait(self.cfg.poll_mode, max_wc))
+
+
+_REGISTRY: Dict[str, tuple[Type[RpcClient], Type[RpcServer]]] = {}
+
+
+def register_protocol(name: str, client_cls: Type[RpcClient],
+                      server_cls: Type[RpcServer]) -> None:
+    if name in _REGISTRY:
+        raise ValueError(f"protocol {name!r} already registered")
+    _REGISTRY[name] = (client_cls, server_cls)
+
+
+def get_protocol(name: str) -> tuple[Type[RpcClient], Type[RpcServer]]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; known: {sorted(_REGISTRY)}") from None
+
+
+def protocol_names() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,214 @@
+"""Direct-write protocols: pre-known remote buffers (Fig. 3b, 3c, 3f).
+
+All three variants WRITE the payload (with a 32-byte in-buffer header)
+directly into a per-connection buffer the peer registered and advertised at
+connection time; they differ only in how the peer learns the data is there:
+
+* **Direct-Write-Send** -- a separate SEND notify: two ibv_post_send calls,
+  hence two MMIO doorbells per message;
+* **Chained-Write-Send** -- WRITE and SEND chained into one post call: one
+  doorbell (the optimization of [25, 36, 37]);
+* **Direct-WriteIMM** -- a single RDMA WRITE_WITH_IMM: one WR carrying both
+  data and notification (the paper's best small-message protocol).
+
+The cost of the family (Section 4.3): the remote buffer is pinned for the
+lifetime of the connection and sized for the largest message, so registered
+memory grows with connection count -- visible in ``device.registered_bytes``
+and penalized by the ``res_util`` hint.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.protocols.base import (
+    HDR_BYTES,
+    K_NOTIFY,
+    ProtoConfig,
+    ProtocolError,
+    RpcClient,
+    RpcServer,
+    check_wc,
+    pack_ctrl,
+    register_protocol,
+    unpack_ctrl,
+)
+from repro.verbs.device import Device, MR, PD
+from repro.verbs.qp import QP
+from repro.verbs.types import Opcode, RecvWR, SendWR, Sge, WCOpcode
+
+__all__ = ["DirectWriteEndpoint"]
+
+#: blob exchanged via CM private_data: inbuf addr + rkey.
+_BLOB = struct.Struct("<QI")
+
+# Notify flavors.
+F_SEPARATE = "separate"   # WRITE, then SEND (two doorbells)
+F_CHAINED = "chained"     # WRITE -> SEND chained (one doorbell)
+F_IMM = "imm"             # WRITE_WITH_IMM (one WR, imm carries the length)
+
+
+class DirectWriteEndpoint:
+    """One side of a direct-write connection."""
+
+    def __init__(self, device: Device, pd: PD, qp: QP, cfg: ProtoConfig,
+                 flavor: str):
+        if flavor not in (F_SEPARATE, F_CHAINED, F_IMM):
+            raise ValueError(f"unknown direct-write flavor {flavor!r}")
+        self.device = device
+        self.pd = pd
+        self.qp = qp
+        self.cfg = cfg
+        self.flavor = flavor
+        self._seq = 0
+        # Inbound message buffer, advertised to the peer.
+        self.inbuf = pd.reg_mr(HDR_BYTES + cfg.max_msg)
+        # Staging for outbound WRITE source + the tiny notify message.
+        self._staging = pd.reg_mr(HDR_BYTES + cfg.max_msg)
+        self._notify = pd.reg_mr(HDR_BYTES)
+        self.peer_addr = 0
+        self.peer_rkey = 0
+
+    def blob(self) -> bytes:
+        return _BLOB.pack(self.inbuf.addr, self.inbuf.rkey)
+
+    def set_peer(self, blob: bytes) -> None:
+        self.peer_addr, self.peer_rkey = _BLOB.unpack_from(blob)
+
+    def setup(self):
+        """Coroutine: pre-post the notify receive ring.
+
+        For the IMM flavor the ring WQEs are zero-length placeholders (the
+        payload never touches them); for SEND flavors they carry the 32-byte
+        notify message.
+        """
+        self._ring = [self.pd.reg_mr(HDR_BYTES)
+                      for _ in range(self.cfg.ring_slots)]
+        for i, mr in enumerate(self._ring):
+            yield from self.qp.post_recv(
+                RecvWR(Sge(mr.addr, mr.length, mr.lkey), wr_id=i))
+
+    # -- send ---------------------------------------------------------------
+    def send_msg(self, data: bytes):
+        """Coroutine: WRITE header+payload to the peer's inbuf, then notify."""
+        self._seq += 1
+        seq = self._seq
+        n = len(data)
+        yield from self.device.memcpy(n, self.cfg.numa_local)
+        self._staging.write(pack_ctrl(K_NOTIFY, seq, n) + data)
+        total = HDR_BYTES + n
+        if self.flavor == F_IMM:
+            yield from self.qp.post_send(
+                SendWR(Opcode.RDMA_WRITE_WITH_IMM,
+                       Sge(self._staging.addr, total, self._staging.lkey),
+                       remote_addr=self.peer_addr, rkey=self.peer_rkey,
+                       imm=seq, signaled=False),
+                numa_local=self.cfg.numa_local)
+            return
+        write = SendWR(Opcode.RDMA_WRITE,
+                       Sge(self._staging.addr, total, self._staging.lkey),
+                       remote_addr=self.peer_addr, rkey=self.peer_rkey,
+                       signaled=False)
+        self._notify.write(pack_ctrl(K_NOTIFY, seq, n))
+        notify = SendWR(Opcode.SEND,
+                        Sge(self._notify.addr, HDR_BYTES, self._notify.lkey),
+                        signaled=False)
+        if self.flavor == F_CHAINED:
+            write.next = notify                      # one doorbell
+            yield from self.qp.post_send(write, numa_local=self.cfg.numa_local)
+        else:
+            yield from self.qp.post_send(write, numa_local=self.cfg.numa_local)
+            yield from self.qp.post_send(notify, numa_local=self.cfg.numa_local)
+
+    # -- receive --------------------------------------------------------------
+    def recv_msg(self):
+        """Coroutine: next inbound message (read in place from inbuf)."""
+        wcs = yield from self.qp.recv_cq.wait(self.cfg.poll_mode, max_wc=1)
+        wc = check_wc(wcs[0])
+        if wc.opcode is WCOpcode.RECV_RDMA_WITH_IMM:
+            kind, seq, length, _a, _k = unpack_ctrl(self.inbuf.read(HDR_BYTES))
+        else:
+            kind, seq, length, _a, _k = unpack_ctrl(
+                self._ring[wc.wr_id].read(HDR_BYTES))
+        if kind != K_NOTIFY:
+            raise ProtocolError(f"unexpected control kind {kind}")
+        yield from self._repost(wc.wr_id)
+        # Payload is already in our inbuf -- read in place, no copy charged.
+        return self.inbuf.read(length, offset=HDR_BYTES)
+
+    def _repost(self, slot_idx: int):
+        mr = self._ring[slot_idx]
+        yield from self.qp.post_recv(
+            RecvWR(Sge(mr.addr, mr.length, mr.lkey), wr_id=slot_idx))
+
+
+class _DWClient(RpcClient):
+    flavor = F_SEPARATE
+
+    def _setup_blob(self) -> bytes:
+        self.ep = DirectWriteEndpoint(self.device, self.pd, self.qp,
+                                      self.cfg, self.flavor)
+        return self.ep.blob()
+
+    def _finish_setup(self, peer_blob: bytes) -> None:
+        self.ep.set_peer(peer_blob)
+
+    def _post_setup(self):
+        yield from self.ep.setup()
+
+    def _call(self, request: bytes, resp_hint: int):
+        yield from self.ep.send_msg(request)
+        return (yield from self.ep.recv_msg())
+
+
+class _DWServer(RpcServer):
+    flavor = F_SEPARATE
+
+    def _make_endpoint(self, conn_req):
+        scq = self.device.create_cq()
+        rcq = self.device.create_cq()
+        qp = self.device.create_qp(self.pd, scq, rcq)
+        ep = DirectWriteEndpoint(self.device, self.pd, qp, self.cfg,
+                                 self.flavor)
+        ep.set_peer(conn_req.private_data)
+        return ep
+
+    def _accept(self, conn_req, endpoint):
+        yield from endpoint.setup()
+        yield from conn_req.accept(endpoint.qp, private_data=endpoint.blob())
+
+    def _recv(self, endpoint):
+        return (yield from endpoint.recv_msg())
+
+    def _reply(self, endpoint, resp: bytes):
+        yield from endpoint.send_msg(resp)
+
+
+class DirectWriteSendClient(_DWClient):
+    flavor = F_SEPARATE
+
+
+class DirectWriteSendServer(_DWServer):
+    flavor = F_SEPARATE
+
+
+class ChainedWriteSendClient(_DWClient):
+    flavor = F_CHAINED
+
+
+class ChainedWriteSendServer(_DWServer):
+    flavor = F_CHAINED
+
+
+class DirectWriteImmClient(_DWClient):
+    flavor = F_IMM
+
+
+class DirectWriteImmServer(_DWServer):
+    flavor = F_IMM
+
+
+register_protocol("direct_write_send", DirectWriteSendClient, DirectWriteSendServer)
+register_protocol("chained_write_send", ChainedWriteSendClient, ChainedWriteSendServer)
+register_protocol("direct_writeimm", DirectWriteImmClient, DirectWriteImmServer)

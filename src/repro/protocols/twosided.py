@@ -1,0 +1,311 @@
+"""Two-sided protocols: Eager-SendRecv, Write-RNDV, Read-RNDV, Hybrid.
+
+One engine (:class:`TwoSidedEndpoint`) implements message delivery over a QP
+with two mechanisms and a size threshold:
+
+* **eager** -- the payload rides in the control SEND itself, landing in a
+  pre-posted ring slot; a memcpy is charged on each side (into the send
+  slot, out of the ring slot) -- the exact tradeoff of Fig. 3a;
+* **rendezvous** -- metadata handshake then a zero-copy bulk transfer:
+  *write* flavor (Fig. 3d): RTS -> CTS(addr,rkey) -> RDMA WRITE_WITH_IMM;
+  *read* flavor (Fig. 3e): RTS(addr,rkey) -> target RDMA READs -> FIN.
+
+The pure protocols are the engine pinned at one end of the threshold
+(Eager-SendRecv: everything eager, with max-size ring slots -- the memory
+footprint the paper's Section 4.3 warns about; Write/Read-RNDV: everything
+rendezvous), and Hybrid-EagerRNDV is the 4 KB-threshold mix that HatRPC's
+generated code uses as its general-purpose baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.protocols.base import (
+    HDR_BYTES,
+    K_CTS,
+    K_EAGER,
+    K_FIN,
+    K_RTS,
+    ProtoConfig,
+    ProtocolError,
+    RpcClient,
+    RpcServer,
+    check_wc,
+    pack_ctrl,
+    register_protocol,
+    unpack_ctrl,
+)
+from repro.verbs.device import Device, MR, PD
+from repro.verbs.qp import QP
+from repro.verbs.types import Opcode, RecvWR, SendWR, Sge, WC, WCOpcode, WCStatus
+
+__all__ = ["TwoSidedEndpoint"]
+
+
+class TwoSidedEndpoint:
+    """Eager + rendezvous messaging over one QP (single outstanding each way)."""
+
+    def __init__(self, device: Device, pd: PD, qp: QP, cfg: ProtoConfig,
+                 slot_payload: int, threshold: int, flavor: str):
+        if flavor not in ("write", "read"):
+            raise ValueError(f"unknown rendezvous flavor {flavor!r}")
+        self.device = device
+        self.pd = pd
+        self.qp = qp
+        self.cfg = cfg
+        self.slot_payload = slot_payload
+        self.threshold = threshold
+        self.flavor = flavor
+        self._inbox: List[bytes] = []
+        self._cts: Optional[tuple] = None
+        self._fin: Optional[int] = None
+        self._seq = 0
+        self._slots: List[MR] = []
+
+    def setup(self):
+        """Coroutine: register buffers and pre-post the receive ring."""
+        slot_size = HDR_BYTES + self.slot_payload
+        self._slots = [self.pd.reg_mr(slot_size)
+                       for _ in range(self.cfg.ring_slots)]
+        self._send_slot = self.pd.reg_mr(slot_size)
+        self._staging = self.pd.reg_mr(self.cfg.max_msg)   # rendezvous source
+        self._landing = self.pd.reg_mr(self.cfg.max_msg)   # rendezvous sink
+        for i, mr in enumerate(self._slots):
+            yield from self.qp.post_recv(
+                RecvWR(Sge(mr.addr, mr.length, mr.lkey), wr_id=i))
+
+    # -- send path ---------------------------------------------------------
+    def send_msg(self, data: bytes):
+        """Coroutine: deliver one message to the peer."""
+        self._seq += 1
+        if len(data) <= self.threshold and len(data) <= self.slot_payload:
+            yield from self._send_eager(data)
+        else:
+            yield from self._send_rndv(data)
+
+    def _send_eager(self, data: bytes):
+        hdr = pack_ctrl(K_EAGER, self._seq, len(data))
+        # Copy into the registered slot (the eager cost).
+        yield from self.device.memcpy(len(data), self.cfg.numa_local)
+        self._send_slot.write(hdr + data)
+        yield from self.qp.post_send(
+            SendWR(Opcode.SEND,
+                   Sge(self._send_slot.addr, HDR_BYTES + len(data),
+                       self._send_slot.lkey),
+                   signaled=False),
+            numa_local=self.cfg.numa_local)
+
+    def _send_rndv(self, data: bytes):
+        seq = self._seq
+        yield from self.device.memcpy(len(data), self.cfg.numa_local)
+        self._staging.write(data)
+        if self.flavor == "write":
+            yield from self._send_ctrl(K_RTS, seq, len(data))
+            addr, rkey = yield from self._await_cts(seq)
+            yield from self.qp.post_send(
+                SendWR(Opcode.RDMA_WRITE_WITH_IMM,
+                       Sge(self._staging.addr, len(data), self._staging.lkey),
+                       remote_addr=addr, rkey=rkey, imm=seq, signaled=False),
+                numa_local=self.cfg.numa_local)
+        else:
+            yield from self._send_ctrl(K_RTS, seq, len(data),
+                                       addr=self._staging.addr,
+                                       rkey=self._staging.rkey)
+            yield from self._await_fin(seq)
+
+    def _send_ctrl(self, kind: int, seq: int, length: int,
+                   addr: int = 0, rkey: int = 0):
+        self._send_slot.write(pack_ctrl(kind, seq, length, addr, rkey))
+        yield from self.qp.post_send(
+            SendWR(Opcode.SEND,
+                   Sge(self._send_slot.addr, HDR_BYTES, self._send_slot.lkey),
+                   signaled=False),
+            numa_local=self.cfg.numa_local)
+
+    # -- receive path --------------------------------------------------------
+    def recv_msg(self):
+        """Coroutine: the next application message from the peer."""
+        while not self._inbox:
+            yield from self._pump()
+        return self._inbox.pop(0)
+
+    def _await_cts(self, seq: int):
+        while self._cts is None or self._cts[0] != seq:
+            yield from self._pump()
+        addr, rkey = self._cts[1], self._cts[2]
+        self._cts = None
+        return addr, rkey
+
+    def _await_fin(self, seq: int):
+        while self._fin != seq:
+            yield from self._pump()
+        self._fin = None
+
+    def _pump(self):
+        wcs = yield from self.qp.recv_cq.wait(self.cfg.poll_mode)
+        for wc in wcs:
+            yield from self._handle(check_wc(wc))
+
+    def _handle(self, wc: WC):
+        if wc.opcode is WCOpcode.RECV_RDMA_WITH_IMM:
+            # Rendezvous (write flavor) payload landed in our landing buffer.
+            self._inbox.append(self._landing.read(wc.byte_len))
+            yield from self._repost(wc.wr_id)
+            return
+        slot = self._slots[wc.wr_id]
+        kind, seq, length, addr, rkey = unpack_ctrl(slot.read(HDR_BYTES))
+        if kind == K_EAGER:
+            # Copy out so the slot can be re-posted (the eager cost).
+            yield from self.device.memcpy(length, self.cfg.numa_local)
+            self._inbox.append(slot.read(length, offset=HDR_BYTES))
+        elif kind == K_RTS and self.flavor == "write":
+            yield from self._repost(wc.wr_id)
+            yield from self._send_ctrl(K_CTS, seq, length,
+                                       addr=self._landing.addr,
+                                       rkey=self._landing.rkey)
+            return
+        elif kind == K_RTS and self.flavor == "read":
+            yield from self._read_payload(seq, length, addr, rkey)
+        elif kind == K_CTS:
+            self._cts = (seq, addr, rkey)
+        elif kind == K_FIN:
+            self._fin = seq
+        else:
+            raise ProtocolError(f"unexpected control kind {kind}")
+        yield from self._repost(wc.wr_id)
+
+    def _read_payload(self, seq: int, length: int, addr: int, rkey: int):
+        yield from self.qp.post_send(
+            SendWR(Opcode.RDMA_READ,
+                   Sge(self._landing.addr, length, self._landing.lkey),
+                   remote_addr=addr, rkey=rkey, wr_id=seq),
+            numa_local=self.cfg.numa_local)
+        wcs = yield from self.qp.send_cq.wait(self.cfg.poll_mode)
+        for wc in wcs:
+            check_wc(wc)
+        self._inbox.append(self._landing.read(length))
+        yield from self._send_ctrl(K_FIN, seq, length)
+
+    def _repost(self, slot_idx: int):
+        mr = self._slots[slot_idx]
+        yield from self.qp.post_recv(
+            RecvWR(Sge(mr.addr, mr.length, mr.lkey), wr_id=slot_idx))
+
+
+# ---------------------------------------------------------------------------
+# Protocol classes built on the endpoint engine.
+# ---------------------------------------------------------------------------
+
+class _TwoSidedClient(RpcClient):
+    flavor = "write"
+
+    def _slot_payload(self) -> int:
+        raise NotImplementedError
+
+    def _threshold(self) -> int:
+        raise NotImplementedError
+
+    def _setup_blob(self) -> bytes:
+        return b""
+
+    def _finish_setup(self, peer_blob: bytes) -> None:
+        self.ep = TwoSidedEndpoint(self.device, self.pd, self.qp, self.cfg,
+                                   self._slot_payload(), self._threshold(),
+                                   self.flavor)
+
+    def _post_setup(self):
+        yield from self.ep.setup()
+
+    def _call(self, request: bytes, resp_hint: int):
+        yield from self.ep.send_msg(request)
+        return (yield from self.ep.recv_msg())
+
+
+class _TwoSidedServer(RpcServer):
+    flavor = "write"
+    client_cls: type = None  # set below; used to share slot sizing logic
+
+    def _slot_payload(self) -> int:
+        raise NotImplementedError
+
+    def _threshold(self) -> int:
+        raise NotImplementedError
+
+    def _make_endpoint(self, conn_req):
+        scq = self.device.create_cq()
+        rcq = self.device.create_cq()
+        qp = self.device.create_qp(self.pd, scq, rcq)
+        return TwoSidedEndpoint(self.device, self.pd, qp, self.cfg,
+                                self._slot_payload(), self._threshold(),
+                                self.flavor)
+
+    def _accept(self, conn_req, endpoint):
+        yield from endpoint.setup()
+        yield from conn_req.accept(endpoint.qp)
+
+    def _recv(self, endpoint):
+        return (yield from endpoint.recv_msg())
+
+    def _reply(self, endpoint, resp: bytes):
+        yield from endpoint.send_msg(resp)
+
+
+class EagerClient(_TwoSidedClient):
+    def _slot_payload(self): return self.cfg.max_msg
+    def _threshold(self): return self.cfg.max_msg
+
+
+class EagerServer(_TwoSidedServer):
+    def _slot_payload(self): return self.cfg.max_msg
+    def _threshold(self): return self.cfg.max_msg
+
+
+class WriteRndvClient(_TwoSidedClient):
+    def _slot_payload(self): return 0
+    def _threshold(self): return -1
+
+
+class WriteRndvServer(_TwoSidedServer):
+    def _slot_payload(self): return 0
+    def _threshold(self): return -1
+
+
+class ReadRndvClient(_TwoSidedClient):
+    flavor = "read"
+    def _slot_payload(self): return 0
+    def _threshold(self): return -1
+
+
+class ReadRndvServer(_TwoSidedServer):
+    flavor = "read"
+    def _slot_payload(self): return 0
+    def _threshold(self): return -1
+
+
+class HybridClient(_TwoSidedClient):
+    def _slot_payload(self): return self.cfg.eager_threshold
+    def _threshold(self): return self.cfg.eager_threshold
+
+
+class HybridServer(_TwoSidedServer):
+    def _slot_payload(self): return self.cfg.eager_threshold
+    def _threshold(self): return self.cfg.eager_threshold
+
+
+class HybridReadClient(HybridClient):
+    """Eager below the threshold, Read-RNDV above: AR-gRPC's adaptive
+    scheme [18] ('AR-gRPC only provides eager or read rendezvous')."""
+
+    flavor = "read"
+
+
+class HybridReadServer(HybridServer):
+    flavor = "read"
+
+
+register_protocol("eager_sendrecv", EagerClient, EagerServer)
+register_protocol("write_rndv", WriteRndvClient, WriteRndvServer)
+register_protocol("read_rndv", ReadRndvClient, ReadRndvServer)
+register_protocol("hybrid_eager_rndv", HybridClient, HybridServer)
+register_protocol("hybrid_eager_readrndv", HybridReadClient, HybridReadServer)

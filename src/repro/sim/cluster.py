@@ -1,0 +1,92 @@
+"""Nodes and clusters.
+
+A :class:`Node` models one machine of the paper's testbed: a CPU complex
+(cores under a fair-share scheduler, split across NUMA domains) to which a
+NIC (:class:`repro.verbs.device.Device`) and a kernel TCP stack
+(:class:`repro.netfab.tcp.TcpStack`) attach themselves.
+
+The default :class:`ClusterSpec` mirrors Section 5.1: 10 nodes, each a
+28-core Xeon Gold 6132 (2 NUMA domains of 14 cores), 192 GB RAM, connected
+by 100 Gbps InfiniBand EDR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim.core import Simulator
+from repro.sim.cpu import CpuScheduler
+
+__all__ = ["Cluster", "ClusterSpec", "Node", "NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one machine."""
+
+    cores: int = 28
+    numa_domains: int = 2
+    ram_bytes: int = 192 * 1024**3
+
+    @property
+    def cores_per_numa(self) -> int:
+        return self.cores // self.numa_domains
+
+
+class Node:
+    """One machine: a named CPU complex with attachment points."""
+
+    def __init__(self, sim: Simulator, name: str, spec: NodeSpec):
+        self.sim = sim
+        self.name = name
+        self.spec = spec
+        self.cpu = CpuScheduler(sim, spec.cores)
+        # Attachment points, filled in by the owning subsystems.
+        self.nic: Any = None          # repro.verbs.device.Device
+        self.tcp: Any = None          # repro.netfab.tcp.TcpStack
+        self.props: Dict[str, Any] = {}
+
+    def compute(self, cpu_seconds: float):
+        """Event that fires after ``cpu_seconds`` of fair-shared CPU work."""
+        return self.cpu.compute(cpu_seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.name}: {self.spec.cores} cores>"
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Topology of the testbed (Section 5.1 defaults)."""
+
+    n_nodes: int = 10
+    node: NodeSpec = field(default_factory=NodeSpec)
+
+
+class Cluster:
+    """A set of nodes sharing one simulator.
+
+    The network fabric (:class:`repro.netfab.fabric.Fabric`) is built on top
+    of a cluster by the netfab package; keeping it out of this class avoids a
+    sim -> netfab dependency.
+    """
+
+    def __init__(self, sim: Simulator, spec: Optional[ClusterSpec] = None):
+        self.sim = sim
+        self.spec = spec or ClusterSpec()
+        self.nodes: List[Node] = [
+            Node(sim, f"node{i}", self.spec.node)
+            for i in range(self.spec.n_nodes)
+        ]
+        self._by_name = {n.name: n for n in self.nodes}
+
+    def __getitem__(self, key: int | str) -> Node:
+        if isinstance(key, str):
+            return self._by_name[key]
+        return self.nodes[key]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)

@@ -1,0 +1,52 @@
+"""One-call construction of the simulated testbed.
+
+``Testbed()`` builds the paper's Section 5.1 environment: a cluster of
+28-core nodes joined by a 100 Gbps fabric, with an RDMA device and a kernel
+TCP (IPoIB) stack on every node.  All examples, tests, and benchmarks start
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netfab.fabric import Fabric, FabricParams
+from repro.netfab.tcp import TcpParams, TcpStack
+from repro.sim.cluster import Cluster, ClusterSpec, Node, NodeSpec
+from repro.sim.core import Simulator
+from repro.verbs.costmodel import CostModel
+from repro.verbs.device import Device
+
+__all__ = ["Testbed"]
+
+
+class Testbed:
+    """A ready-to-use simulated cluster."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self,
+                 n_nodes: int = 10,
+                 node_spec: Optional[NodeSpec] = None,
+                 fabric_params: Optional[FabricParams] = None,
+                 cost_model: Optional[CostModel] = None,
+                 tcp_params: Optional[TcpParams] = None):
+        self.sim = Simulator()
+        spec = ClusterSpec(n_nodes=n_nodes, node=node_spec or NodeSpec())
+        self.cluster = Cluster(self.sim, spec)
+        self.fabric = Fabric(self.sim, self.cluster, fabric_params)
+        self.cost_model = cost_model or CostModel()
+        self.tcp_params = tcp_params or TcpParams()
+        for node in self.cluster:
+            Device(self.sim, node, self.fabric, self.cost_model)
+            TcpStack(self.sim, node, self.fabric, self.tcp_params)
+
+    @property
+    def nodes(self) -> list[Node]:
+        return self.cluster.nodes
+
+    def node(self, i: int) -> Node:
+        return self.cluster.nodes[i]
+
+    def run(self, until=None):
+        return self.sim.run(until)

@@ -1,0 +1,88 @@
+"""Thrift exception hierarchy (mirrors Apache Thrift's)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "TApplicationException",
+    "TException",
+    "TProtocolException",
+    "TTransportException",
+]
+
+
+class TException(Exception):
+    """Base class for all Thrift exceptions."""
+
+    def __init__(self, message: str = ""):
+        super().__init__(message)
+        self.message = message
+
+
+class TTransportException(TException):
+    UNKNOWN = 0
+    NOT_OPEN = 1
+    ALREADY_OPEN = 2
+    TIMED_OUT = 3
+    END_OF_FILE = 4
+
+    def __init__(self, type: int = UNKNOWN, message: str = ""):
+        super().__init__(message)
+        self.type = type
+
+
+class TProtocolException(TException):
+    UNKNOWN = 0
+    INVALID_DATA = 1
+    NEGATIVE_SIZE = 2
+    SIZE_LIMIT = 3
+    BAD_VERSION = 4
+
+    def __init__(self, type: int = UNKNOWN, message: str = ""):
+        super().__init__(message)
+        self.type = type
+
+
+class TApplicationException(TException):
+    """Server-side failure reported back to the caller."""
+
+    UNKNOWN = 0
+    UNKNOWN_METHOD = 1
+    INVALID_MESSAGE_TYPE = 2
+    WRONG_METHOD_NAME = 3
+    BAD_SEQUENCE_ID = 4
+    MISSING_RESULT = 5
+    INTERNAL_ERROR = 6
+    PROTOCOL_ERROR = 7
+
+    def __init__(self, type: int = UNKNOWN, message: str = ""):
+        super().__init__(message)
+        self.type = type
+
+    def read(self, iprot) -> None:
+        from repro.thrift.ttypes import TType
+        iprot.read_struct_begin()
+        while True:
+            _name, ftype, fid = iprot.read_field_begin()
+            if ftype == TType.STOP:
+                break
+            if fid == 1 and ftype == TType.STRING:
+                self.message = iprot.read_string()
+            elif fid == 2 and ftype == TType.I32:
+                self.type = iprot.read_i32()
+            else:
+                iprot.skip(ftype)
+            iprot.read_field_end()
+        iprot.read_struct_end()
+        self.args = (self.message,)  # so str(exc) reflects the wire message
+
+    def write(self, oprot) -> None:
+        from repro.thrift.ttypes import TType
+        oprot.write_struct_begin("TApplicationException")
+        oprot.write_field_begin("message", TType.STRING, 1)
+        oprot.write_string(self.message or "")
+        oprot.write_field_end()
+        oprot.write_field_begin("type", TType.I32, 2)
+        oprot.write_i32(self.type)
+        oprot.write_field_end()
+        oprot.write_field_stop()
+        oprot.write_struct_end()

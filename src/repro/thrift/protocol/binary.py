@@ -1,0 +1,183 @@
+"""TBinaryProtocol: the fixed-width big-endian wire format (strict mode)."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.thrift.errors import TProtocolException
+from repro.thrift.protocol.base import TProtocol
+from repro.thrift.ttypes import TType
+
+__all__ = ["TBinaryProtocol"]
+
+_I8 = struct.Struct("!b")
+_I16 = struct.Struct("!h")
+_I32 = struct.Struct("!i")
+_I64 = struct.Struct("!q")
+_DOUBLE = struct.Struct("!d")
+
+VERSION_1 = 0x80010000
+VERSION_MASK = 0xFFFF0000
+
+
+class TBinaryProtocol(TProtocol):
+    """Strict binary protocol, wire-compatible with Apache Thrift."""
+
+    # -- message -----------------------------------------------------------
+    def write_message_begin(self, name: str, mtype: int, seqid: int):
+        # Header word is VERSION_1 | mtype, reinterpreted as a signed i32.
+        header = struct.unpack("!i", struct.pack("!I", VERSION_1 | mtype))[0]
+        self.write_i32(header)
+        self.write_string(name)
+        self.write_i32(seqid)
+
+    def read_message_begin(self):
+        sz = self.read_i32()
+        if sz >= 0:
+            raise TProtocolException(TProtocolException.BAD_VERSION,
+                                     "missing version in message header")
+        version = struct.unpack("!I", struct.pack("!i", sz))[0] & VERSION_MASK
+        if version != VERSION_1:
+            raise TProtocolException(TProtocolException.BAD_VERSION,
+                                     f"bad version {version:#x}")
+        mtype = sz & 0xFF
+        name = self.read_string()
+        seqid = self.read_i32()
+        return name, mtype, seqid
+
+    def write_message_end(self):
+        pass
+
+    def read_message_end(self):
+        pass
+
+    # -- struct / field ------------------------------------------------------
+    def write_struct_begin(self, name: str):
+        pass
+
+    def write_struct_end(self):
+        pass
+
+    def write_field_begin(self, name: str, ttype: int, fid: int):
+        self.write_byte(ttype)
+        self.write_i16(fid)
+
+    def write_field_end(self):
+        pass
+
+    def write_field_stop(self):
+        self.write_byte(TType.STOP)
+
+    def read_struct_begin(self):
+        pass
+
+    def read_struct_end(self):
+        pass
+
+    def read_field_begin(self):
+        ttype = self.read_byte()
+        if ttype == TType.STOP:
+            return None, ttype, 0
+        fid = self.read_i16()
+        return None, ttype, fid
+
+    def read_field_end(self):
+        pass
+
+    # -- containers --------------------------------------------------------------
+    def write_map_begin(self, ktype: int, vtype: int, size: int):
+        self.write_byte(ktype)
+        self.write_byte(vtype)
+        self.write_i32(size)
+
+    def write_map_end(self):
+        pass
+
+    def read_map_begin(self):
+        ktype = self.read_byte()
+        vtype = self.read_byte()
+        size = self.read_i32()
+        self._check_size(size)
+        return ktype, vtype, size
+
+    def read_map_end(self):
+        pass
+
+    def write_list_begin(self, etype: int, size: int):
+        self.write_byte(etype)
+        self.write_i32(size)
+
+    def write_list_end(self):
+        pass
+
+    def read_list_begin(self):
+        etype = self.read_byte()
+        size = self.read_i32()
+        self._check_size(size)
+        return etype, size
+
+    def read_list_end(self):
+        pass
+
+    write_set_begin = write_list_begin
+    write_set_end = write_list_end
+    read_set_begin = read_list_begin
+    read_set_end = read_list_end
+
+    # -- scalars --------------------------------------------------------------------
+    def write_bool(self, v: bool):
+        self.write_byte(1 if v else 0)
+
+    def write_byte(self, v: int):
+        self.trans.write(_I8.pack(v))
+
+    def write_i16(self, v: int):
+        self.trans.write(_I16.pack(v))
+
+    def write_i32(self, v: int):
+        self.trans.write(_I32.pack(v))
+
+    def write_i64(self, v: int):
+        self.trans.write(_I64.pack(v))
+
+    def write_double(self, v: float):
+        self.trans.write(_DOUBLE.pack(v))
+
+    def write_string(self, v: str):
+        self.write_binary(v.encode("utf-8"))
+
+    def write_binary(self, v: bytes):
+        self.write_i32(len(v))
+        self.trans.write(v)
+
+    def read_bool(self) -> bool:
+        return self.read_byte() != 0
+
+    def read_byte(self) -> int:
+        return _I8.unpack(self.trans.read_all(1))[0]
+
+    def read_i16(self) -> int:
+        return _I16.unpack(self.trans.read_all(2))[0]
+
+    def read_i32(self) -> int:
+        return _I32.unpack(self.trans.read_all(4))[0]
+
+    def read_i64(self) -> int:
+        return _I64.unpack(self.trans.read_all(8))[0]
+
+    def read_double(self) -> float:
+        return _DOUBLE.unpack(self.trans.read_all(8))[0]
+
+    def read_string(self) -> str:
+        return self.read_binary().decode("utf-8")
+
+    def read_binary(self) -> bytes:
+        size = self.read_i32()
+        self._check_size(size)
+        return self.trans.read_all(size)
+
+    @staticmethod
+    def _check_size(size: int):
+        if size < 0:
+            raise TProtocolException(TProtocolException.NEGATIVE_SIZE,
+                                     f"negative size {size}")

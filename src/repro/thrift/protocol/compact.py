@@ -1,0 +1,306 @@
+"""TCompactProtocol: varint/zigzag encoding with delta field ids.
+
+Wire format follows the Apache Thrift compact protocol specification:
+single-byte field headers where possible, ULEB128 varints, zigzag for
+signed integers, little-endian doubles, and bool values folded into the
+field header.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.thrift.errors import TProtocolException
+from repro.thrift.protocol.base import TProtocol
+from repro.thrift.ttypes import TType
+
+__all__ = ["TCompactProtocol"]
+
+PROTOCOL_ID = 0x82
+VERSION = 1
+
+# Compact wire type ids.
+CT_STOP = 0x00
+CT_BOOL_TRUE = 0x01
+CT_BOOL_FALSE = 0x02
+CT_BYTE = 0x03
+CT_I16 = 0x04
+CT_I32 = 0x05
+CT_I64 = 0x06
+CT_DOUBLE = 0x07
+CT_BINARY = 0x08
+CT_LIST = 0x09
+CT_SET = 0x0A
+CT_MAP = 0x0B
+CT_STRUCT = 0x0C
+
+_TO_COMPACT = {
+    TType.STOP: CT_STOP,
+    TType.BOOL: CT_BOOL_TRUE,
+    TType.BYTE: CT_BYTE,
+    TType.I16: CT_I16,
+    TType.I32: CT_I32,
+    TType.I64: CT_I64,
+    TType.DOUBLE: CT_DOUBLE,
+    TType.STRING: CT_BINARY,
+    TType.LIST: CT_LIST,
+    TType.SET: CT_SET,
+    TType.MAP: CT_MAP,
+    TType.STRUCT: CT_STRUCT,
+}
+_FROM_COMPACT = {
+    CT_STOP: TType.STOP,
+    CT_BOOL_TRUE: TType.BOOL,
+    CT_BOOL_FALSE: TType.BOOL,
+    CT_BYTE: TType.BYTE,
+    CT_I16: TType.I16,
+    CT_I32: TType.I32,
+    CT_I64: TType.I64,
+    CT_DOUBLE: TType.DOUBLE,
+    CT_BINARY: TType.STRING,
+    CT_LIST: TType.LIST,
+    CT_SET: TType.SET,
+    CT_MAP: TType.MAP,
+    CT_STRUCT: TType.STRUCT,
+}
+
+_DOUBLE_LE = struct.Struct("<d")
+
+
+def zigzag(v: int, bits: int) -> int:
+    return (v << 1) ^ (v >> (bits - 1))
+
+
+def unzigzag(v: int) -> int:
+    return (v >> 1) ^ -(v & 1)
+
+
+class TCompactProtocol(TProtocol):
+    def __init__(self, trans):
+        super().__init__(trans)
+        self._field_stack: list[int] = []
+        self._last_fid = 0
+        self._bool_fid: int | None = None       # pending bool field write
+        self._bool_value: bool | None = None    # pending bool field read
+
+    # -- varint helpers --------------------------------------------------------
+    def _write_varint(self, v: int) -> None:
+        out = bytearray()
+        while True:
+            if (v & ~0x7F) == 0:
+                out.append(v)
+                break
+            out.append((v & 0x7F) | 0x80)
+            v >>= 7
+        self.trans.write(bytes(out))
+
+    def _read_varint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            b = self.trans.read_all(1)[0]
+            result |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return result
+            shift += 7
+            if shift > 70:
+                raise TProtocolException(TProtocolException.INVALID_DATA,
+                                         "varint too long")
+
+    # -- message --------------------------------------------------------------
+    def write_message_begin(self, name: str, mtype: int, seqid: int):
+        self.trans.write(bytes([PROTOCOL_ID,
+                                (VERSION & 0x1F) | ((mtype & 0x07) << 5)]))
+        self._write_varint(seqid)
+        self.write_string(name)
+
+    def read_message_begin(self):
+        proto_id = self.trans.read_all(1)[0]
+        if proto_id != PROTOCOL_ID:
+            raise TProtocolException(TProtocolException.BAD_VERSION,
+                                     f"bad compact protocol id {proto_id:#x}")
+        vt = self.trans.read_all(1)[0]
+        if vt & 0x1F != VERSION:
+            raise TProtocolException(TProtocolException.BAD_VERSION,
+                                     f"bad compact version {vt & 0x1F}")
+        mtype = (vt >> 5) & 0x07
+        seqid = self._read_varint()
+        name = self.read_string()
+        return name, mtype, seqid
+
+    def write_message_end(self):
+        pass
+
+    def read_message_end(self):
+        pass
+
+    # -- struct / field ----------------------------------------------------------
+    def write_struct_begin(self, name: str):
+        self._field_stack.append(self._last_fid)
+        self._last_fid = 0
+
+    def write_struct_end(self):
+        self._last_fid = self._field_stack.pop()
+
+    def write_field_begin(self, name: str, ttype: int, fid: int):
+        if ttype == TType.BOOL:
+            self._bool_fid = fid   # header written by write_bool
+            return
+        self._write_field_header(_TO_COMPACT[ttype], fid)
+
+    def _write_field_header(self, ct: int, fid: int) -> None:
+        delta = fid - self._last_fid
+        if 0 < delta <= 15:
+            self.trans.write(bytes([(delta << 4) | ct]))
+        else:
+            self.trans.write(bytes([ct]))
+            self._write_varint(zigzag(fid, 16))
+        self._last_fid = fid
+
+    def write_field_end(self):
+        pass
+
+    def write_field_stop(self):
+        self.trans.write(b"\x00")
+
+    def read_struct_begin(self):
+        self._field_stack.append(self._last_fid)
+        self._last_fid = 0
+
+    def read_struct_end(self):
+        self._last_fid = self._field_stack.pop()
+
+    def read_field_begin(self):
+        b = self.trans.read_all(1)[0]
+        if b == CT_STOP:
+            return None, TType.STOP, 0
+        ct = b & 0x0F
+        delta = (b >> 4) & 0x0F
+        if delta:
+            fid = self._last_fid + delta
+        else:
+            fid = unzigzag(self._read_varint())
+        self._last_fid = fid
+        if ct in (CT_BOOL_TRUE, CT_BOOL_FALSE):
+            self._bool_value = ct == CT_BOOL_TRUE
+        return None, _FROM_COMPACT[ct], fid
+
+    def read_field_end(self):
+        pass
+
+    # -- containers ------------------------------------------------------------------
+    def write_map_begin(self, ktype: int, vtype: int, size: int):
+        if size == 0:
+            self.trans.write(b"\x00")
+            return
+        self._write_varint(size)
+        self.trans.write(bytes([(_TO_COMPACT[ktype] << 4)
+                                | _TO_COMPACT[vtype]]))
+
+    def write_map_end(self):
+        pass
+
+    def read_map_begin(self):
+        size = self._read_varint()
+        self._check_size(size)
+        if size == 0:
+            return TType.STOP, TType.STOP, 0
+        kv = self.trans.read_all(1)[0]
+        return _FROM_COMPACT[kv >> 4], _FROM_COMPACT[kv & 0x0F], size
+
+    def read_map_end(self):
+        pass
+
+    def write_list_begin(self, etype: int, size: int):
+        ct = _TO_COMPACT[etype]
+        if size <= 14:
+            self.trans.write(bytes([(size << 4) | ct]))
+        else:
+            self.trans.write(bytes([0xF0 | ct]))
+            self._write_varint(size)
+
+    def write_list_end(self):
+        pass
+
+    def read_list_begin(self):
+        b = self.trans.read_all(1)[0]
+        size = (b >> 4) & 0x0F
+        if size == 15:
+            size = self._read_varint()
+        self._check_size(size)
+        return _FROM_COMPACT[b & 0x0F], size
+
+    def read_list_end(self):
+        pass
+
+    write_set_begin = write_list_begin
+    write_set_end = write_list_end
+    read_set_begin = read_list_begin
+    read_set_end = read_list_end
+
+    # -- scalars ------------------------------------------------------------------------
+    def write_bool(self, v: bool):
+        ct = CT_BOOL_TRUE if v else CT_BOOL_FALSE
+        if self._bool_fid is not None:
+            self._write_field_header(ct, self._bool_fid)
+            self._bool_fid = None
+        else:
+            self.trans.write(bytes([ct]))  # bare bool inside a container
+
+    def read_bool(self) -> bool:
+        if self._bool_value is not None:
+            v = self._bool_value
+            self._bool_value = None
+            return v
+        return self.trans.read_all(1)[0] == CT_BOOL_TRUE
+
+    def write_byte(self, v: int):
+        self.trans.write(struct.pack("!b", v))
+
+    def read_byte(self) -> int:
+        return struct.unpack("!b", self.trans.read_all(1))[0]
+
+    def write_i16(self, v: int):
+        self._write_varint(zigzag(v, 16))
+
+    def read_i16(self) -> int:
+        return unzigzag(self._read_varint())
+
+    def write_i32(self, v: int):
+        self._write_varint(zigzag(v, 32))
+
+    def read_i32(self) -> int:
+        return unzigzag(self._read_varint())
+
+    def write_i64(self, v: int):
+        self._write_varint(zigzag(v, 64))
+
+    def read_i64(self) -> int:
+        return unzigzag(self._read_varint())
+
+    def write_double(self, v: float):
+        self.trans.write(_DOUBLE_LE.pack(v))
+
+    def read_double(self) -> float:
+        return _DOUBLE_LE.unpack(self.trans.read_all(8))[0]
+
+    def write_string(self, v: str):
+        self.write_binary(v.encode("utf-8"))
+
+    def read_string(self) -> str:
+        return self.read_binary().decode("utf-8")
+
+    def write_binary(self, v: bytes):
+        self._write_varint(len(v))
+        self.trans.write(v)
+
+    def read_binary(self) -> bytes:
+        size = self._read_varint()
+        self._check_size(size)
+        return self.trans.read_all(size)
+
+    @staticmethod
+    def _check_size(size: int):
+        if size < 0:
+            raise TProtocolException(TProtocolException.NEGATIVE_SIZE,
+                                     f"negative size {size}")

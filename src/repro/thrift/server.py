@@ -1,0 +1,116 @@
+"""Thrift servers: simple, threaded, and thread-pool variants.
+
+"Threads" are simulator processes (the coroutine convention); the thread
+pool maps onto the node's CPU scheduler exactly the way OS threads map onto
+cores in the real Apache Thrift servers the paper benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.core import Simulator
+from repro.sim.sync import Store
+from repro.thrift.errors import TTransportException
+from repro.thrift.processor import TProcessor
+from repro.thrift.protocol.binary import TBinaryProtocol
+from repro.thrift.transport import TFramedTransport
+
+__all__ = ["TServer", "TSimpleServer", "TThreadPoolServer", "TThreadedServer"]
+
+
+class TServer:
+    """Base server: accept loop + per-connection message loop."""
+
+    def __init__(self, processor: TProcessor, server_transport,
+                 protocol_factory: Callable = TBinaryProtocol,
+                 transport_factory: Callable = TFramedTransport):
+        self.processor = processor
+        self.server_transport = server_transport
+        self.protocol_factory = protocol_factory
+        self.transport_factory = transport_factory
+        self.sim: Simulator = server_transport.node.sim
+        self.connections = 0
+        self.requests = 0
+        self._stopped = False
+
+    def serve(self) -> "TServer":
+        """Start the accept loop (non-blocking; returns immediately)."""
+        self.server_transport.listen()
+        self.sim.process(self._accept_loop(), name="thrift-accept")
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+        self.server_transport.close()
+
+    def _accept_loop(self):
+        raise NotImplementedError
+
+    def _handle_connection(self, trans):
+        """Coroutine: serve one connection until EOF."""
+        prot = self.protocol_factory(trans)
+        while not self._stopped:
+            try:
+                yield from trans.ready()
+            except TTransportException:
+                trans.close()
+                return
+            replied = yield from self.processor.process(prot, prot)
+            if replied:
+                yield from trans.flush()
+            self.requests += 1
+
+
+class TSimpleServer(TServer):
+    """Serves one connection at a time (useful for tests)."""
+
+    def _accept_loop(self):
+        while not self._stopped:
+            sock = yield from self.server_transport.accept()
+            self.connections += 1
+            yield from self._handle_connection(self.transport_factory(sock))
+
+
+class TThreadedServer(TServer):
+    """One simulator process per connection (thread-per-connection)."""
+
+    def _accept_loop(self):
+        while not self._stopped:
+            sock = yield from self.server_transport.accept()
+            self.connections += 1
+            self.sim.process(
+                self._handle_connection(self.transport_factory(sock)),
+                name=f"thrift-conn-{self.connections}")
+
+
+class TThreadPoolServer(TServer):
+    """A fixed pool of worker processes draining an accept queue."""
+
+    def __init__(self, processor, server_transport,
+                 protocol_factory: Callable = TBinaryProtocol,
+                 transport_factory: Callable = TFramedTransport,
+                 workers: int = 8):
+        super().__init__(processor, server_transport, protocol_factory,
+                         transport_factory)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._queue: Optional[Store] = None
+
+    def serve(self) -> "TThreadPoolServer":
+        self._queue = Store(self.sim)
+        for i in range(self.workers):
+            self.sim.process(self._worker(), name=f"thrift-worker-{i}")
+        return super().serve()
+
+    def _accept_loop(self):
+        while not self._stopped:
+            sock = yield from self.server_transport.accept()
+            self.connections += 1
+            self._queue.put(sock)
+
+    def _worker(self):
+        while not self._stopped:
+            sock = yield self._queue.get()
+            yield from self._handle_connection(self.transport_factory(sock))

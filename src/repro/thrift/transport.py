@@ -1,0 +1,247 @@
+"""Thrift transports over the simulated network.
+
+Interface contract (repository coroutine convention):
+
+* ``write(data)`` buffers bytes for the current outbound message -- plain
+  call, no simulated time;
+* ``flush()`` -- coroutine -- pushes the buffered message down the stack;
+* ``ready()`` -- coroutine -- blocks until the next inbound message is
+  buffered locally;
+* ``read(n)`` / ``read_all(n)`` -- plain calls against the buffered inbound
+  message (serializers are synchronous once a message has landed).
+
+Message-boundary framing is therefore part of the transport, as in Apache
+Thrift's non-blocking servers (TFramedTransport is mandatory there too).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.netfab.tcp import TcpConn, TcpError, TcpListener
+from repro.sim.cluster import Node
+from repro.thrift.errors import TTransportException
+
+__all__ = [
+    "TBufferedTransport",
+    "TFramedTransport",
+    "TMemoryBuffer",
+    "TServerSocket",
+    "TSocket",
+    "TTransport",
+]
+
+
+class TTransport:
+    """Abstract transport."""
+
+    def is_open(self) -> bool:
+        return True
+
+    def open(self):
+        """Coroutine: establish the transport."""
+        return
+        yield  # pragma: no cover
+
+    def close(self) -> None:
+        pass
+
+    def write(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def flush(self):
+        """Coroutine: deliver the buffered outbound message."""
+        raise NotImplementedError
+
+    def ready(self):
+        """Coroutine: buffer the next inbound message."""
+        raise NotImplementedError
+
+    def read(self, n: int) -> bytes:
+        raise NotImplementedError
+
+    def read_all(self, n: int) -> bytes:
+        out = self.read(n)
+        if len(out) < n:
+            raise TTransportException(
+                TTransportException.END_OF_FILE,
+                f"wanted {n} bytes, transport had {len(out)}")
+        return out
+
+
+class TMemoryBuffer(TTransport):
+    """In-memory transport for (de)serialization and tests."""
+
+    def __init__(self, value: bytes = b""):
+        self._wbuf = bytearray()
+        self._rbuf = memoryview(bytes(value))
+        self._rpos = 0
+
+    def write(self, data: bytes) -> None:
+        self._wbuf += data
+
+    def flush(self):
+        return
+        yield  # pragma: no cover
+
+    def ready(self):
+        return
+        yield  # pragma: no cover
+
+    def read(self, n: int) -> bytes:
+        out = bytes(self._rbuf[self._rpos:self._rpos + n])
+        self._rpos += len(out)
+        return out
+
+    def getvalue(self) -> bytes:
+        return bytes(self._wbuf)
+
+    def reset_read(self, value: bytes) -> None:
+        self._rbuf = memoryview(bytes(value))
+        self._rpos = 0
+
+
+class TSocket(TTransport):
+    """Client socket over the simulated kernel TCP (IPoIB) stack.
+
+    Byte-stream only: wrap it in TFramedTransport (or TBufferedTransport for
+    write batching) for message semantics, as real non-blocking Thrift does.
+    """
+
+    def __init__(self, node: Node, remote: Node, port: int,
+                 conn: Optional[TcpConn] = None):
+        self.node = node
+        self.remote = remote
+        self.port = port
+        self.conn = conn
+
+    def is_open(self) -> bool:
+        return self.conn is not None and not self.conn.closed
+
+    def open(self):
+        if self.is_open():
+            raise TTransportException(TTransportException.ALREADY_OPEN,
+                                      "socket already open")
+        try:
+            self.conn = yield from self.node.tcp.connect(self.remote, self.port)
+        except TcpError as e:
+            raise TTransportException(TTransportException.NOT_OPEN, str(e))
+
+    def close(self) -> None:
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+
+    # Raw stream coroutines used by the framing layers.
+    def send(self, data: bytes):
+        if not self.is_open():
+            raise TTransportException(TTransportException.NOT_OPEN,
+                                      "send on closed socket")
+        try:
+            yield from self.conn.send(data)
+        except TcpError as e:
+            raise TTransportException(TTransportException.NOT_OPEN, str(e))
+
+    def recv_exact(self, n: int):
+        if not self.is_open():
+            raise TTransportException(TTransportException.NOT_OPEN,
+                                      "recv on closed socket")
+        try:
+            return (yield from self.conn.recv_exact(n))
+        except TcpError as e:
+            raise TTransportException(TTransportException.END_OF_FILE, str(e))
+
+
+class TFramedTransport(TTransport):
+    """Length-prefixed framing over a byte-stream transport (TSocket)."""
+
+    _LEN = struct.Struct("!I")
+    MAX_FRAME = 64 * 1024 * 1024
+
+    def __init__(self, inner: TSocket):
+        self.inner = inner
+        self._wbuf = bytearray()
+        self._rbuf = b""
+        self._rpos = 0
+
+    def is_open(self) -> bool:
+        return self.inner.is_open()
+
+    def open(self):
+        yield from self.inner.open()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def write(self, data: bytes) -> None:
+        self._wbuf += data
+
+    def flush(self):
+        frame = bytes(self._wbuf)
+        self._wbuf.clear()
+        yield from self.inner.send(self._LEN.pack(len(frame)) + frame)
+
+    def ready(self):
+        hdr = yield from self.inner.recv_exact(4)
+        (length,) = self._LEN.unpack(hdr)
+        if length > self.MAX_FRAME:
+            raise TTransportException(TTransportException.UNKNOWN,
+                                      f"frame of {length} bytes exceeds limit")
+        self._rbuf = yield from self.inner.recv_exact(length)
+        self._rpos = 0
+
+    def read(self, n: int) -> bytes:
+        out = self._rbuf[self._rpos:self._rpos + n]
+        self._rpos += len(out)
+        return out
+
+
+class TBufferedTransport(TFramedTransport):
+    """Write-coalescing transport without frame headers.
+
+    Reads require the peer to send whole messages per flush (true for all
+    RPC flows in this repository); each ``ready()`` pulls whatever the next
+    flush delivered.  Provided for API parity with Apache Thrift; framed is
+    what the servers use.
+    """
+
+    def flush(self):
+        data = bytes(self._wbuf)
+        self._wbuf.clear()
+        yield from self.inner.send(data)
+
+    def ready(self):
+        chunk = yield from self.inner.recv_exact(1)
+        # Drain whatever else is already buffered without blocking again.
+        more = self.inner.conn._rx
+        rest = bytes(more)
+        del more[:]
+        self._rbuf = chunk + rest
+        self._rpos = 0
+
+
+class TServerSocket:
+    """Listening socket; ``accept()`` yields a connected TSocket."""
+
+    def __init__(self, node: Node, port: int):
+        self.node = node
+        self.port = port
+        self._listener: Optional[TcpListener] = None
+
+    def listen(self) -> "TServerSocket":
+        self._listener = self.node.tcp.listen(self.port)
+        return self
+
+    def accept(self):
+        """Coroutine: next inbound connection as a TSocket."""
+        if self._listener is None:
+            raise TTransportException(TTransportException.NOT_OPEN,
+                                      "server socket not listening")
+        conn = yield self._listener.accept()
+        return TSocket(self.node, conn.peer_stack.node, self.port, conn=conn)
+
+    def close(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None

@@ -1,0 +1,42 @@
+"""The Thrift type system constants (wire-compatible values)."""
+
+from __future__ import annotations
+
+__all__ = ["TMessageType", "TType"]
+
+
+class TType:
+    """Thrift field type ids, matching Apache Thrift's wire values."""
+
+    STOP = 0
+    VOID = 1
+    BOOL = 2
+    BYTE = 3
+    I08 = 3
+    DOUBLE = 4
+    I16 = 6
+    I32 = 8
+    I64 = 10
+    STRING = 11
+    BINARY = 11  # same wire type; distinction is codegen-level
+    STRUCT = 12
+    MAP = 13
+    SET = 14
+    LIST = 15
+
+    _NAMES = {
+        0: "STOP", 1: "VOID", 2: "BOOL", 3: "BYTE", 4: "DOUBLE", 6: "I16",
+        8: "I32", 10: "I64", 11: "STRING", 12: "STRUCT", 13: "MAP",
+        14: "SET", 15: "LIST",
+    }
+
+    @classmethod
+    def name_of(cls, ttype: int) -> str:
+        return cls._NAMES.get(ttype, f"UNKNOWN({ttype})")
+
+
+class TMessageType:
+    CALL = 1
+    REPLY = 2
+    EXCEPTION = 3
+    ONEWAY = 4

@@ -1,0 +1,28 @@
+"""TPC-H: data generator, 22 queries, and a distributed executor.
+
+Substitutes for the paper's "commercial database system applying the HatRPC
+approach" (Section 5.5): a columnar mini-engine executes the standard TPC-H
+queries over partitioned data on the simulated cluster, and the inter-node
+exchange operators run over the RPC layer under test (vanilla Thrift on
+IPoIB, HatRPC-Service, or HatRPC-Function).  Compute cost is charged per
+row touched; exchange traffic is the actual serialized bytes of the
+intermediate results, shipped in framed chunks as a Thrift-based engine
+would stream them.
+"""
+
+from repro.tpch.schema import SCHEMA, TABLES
+from repro.tpch.table import Table
+from repro.tpch.datagen import generate
+from repro.tpch.queries import QUERIES, run_query
+from repro.tpch.distributed import DistributedTpch, TpchResult
+
+__all__ = [
+    "DistributedTpch",
+    "QUERIES",
+    "SCHEMA",
+    "TABLES",
+    "Table",
+    "TpchResult",
+    "generate",
+    "run_query",
+]

@@ -1,0 +1,245 @@
+"""The distributed TPC-H executor over the RPC layer under test.
+
+Topology (Section 5.5): node 0 is the coordinator, nodes 1..W are workers
+holding orderkey-striped partitions of orders+lineitem plus replicated
+dimensions.  A query runs as:
+
+1. the coordinator calls ``RunFragment(q)`` on every worker in parallel;
+2. each worker charges fragment compute (rows scanned x per-row cost),
+   runs the fragment plan, and returns the first chunk of the serialized
+   partial, streaming the rest through ``PullChunk`` calls (the framed
+   chunking a Thrift-based engine uses for large intermediates);
+3. the coordinator deserializes, concatenates, charges the final-stage
+   compute, and produces the query result.
+
+Only the RPC transport differs between the three modes the paper compares:
+``ipoib`` (vanilla Thrift over kernel TCP), ``hatrpc_service``
+(service-level hints), ``hatrpc_function`` (per-function hints: bulk
+fragment pulls vs. latency-sensitive control RPCs + NUMA binding).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.engine import pinned_plan
+from repro.core.runtime import HatRpcServer, hatrpc_connect
+from repro.idl import load_idl
+from repro.sim.units import KiB, ns
+from repro.verbs.cq import PollMode
+from repro.testbed import Testbed
+from repro.tpch.datagen import generate
+from repro.tpch.fragments import PLANS
+from repro.tpch.ser import deserialize_table, serialize_table
+from repro.tpch.table import Table
+
+__all__ = ["DistributedTpch", "TpchResult"]
+
+SERVICE = "TpchWorker"
+BASE_SID = 8000
+CHUNK = 64 * KiB
+
+_MODES = ("ipoib", "hatrpc_service", "hatrpc_function")
+_IDL_COUNTER = [0]
+
+
+def _worker_idl(mode: str, n_workers: int) -> str:
+    if mode == "hatrpc_function":
+        frag_hints = ("[ hint: perf_goal = throughput, payload_size = 64KB, "
+                      "numa_binding = true; ]")
+        pull_hints = frag_hints
+        ctl_hints = "[ hint: perf_goal = latency, payload_size = 64; ]"
+        ping_hints = "[ hint: transport = tcp; ]"
+    else:
+        frag_hints = pull_hints = ctl_hints = ping_hints = ""
+    return f"""
+service TpchWorker {{
+    hint: perf_goal = throughput, concurrency = {n_workers};
+
+    binary RunFragment(1: i32 query) {frag_hints}
+    binary PullChunk(1: i32 query, 2: i32 offset) {pull_hints}
+    i32 Prepare(1: i32 query) {ctl_hints}
+    i32 Ping() {ping_hints}
+}}
+"""
+
+
+class _WorkerHandler:
+    """One worker's service implementation over its partition."""
+
+    def __init__(self, node, partition_db: Dict[str, Table],
+                 per_row_cost: float):
+        self.node = node
+        self.db = partition_db
+        self.per_row_cost = per_row_cost
+        self._staged: Dict[int, bytes] = {}
+
+    def Prepare(self, query):
+        # Plan/metadata setup: a small fixed cost.
+        yield self.node.compute(2e-6)
+        return query
+
+    def Ping(self):
+        return 1
+
+    def RunFragment(self, query):
+        plan = PLANS[int(query)]
+        rows = sum(len(self.db[t]) for t in plan.touches)
+        yield self.node.compute(rows * self.per_row_cost)
+        partial = plan.fragment(self.db)
+        data = serialize_table(partial)
+        self._staged[int(query)] = data
+        # First chunk rides the reply: u32 total length + payload.
+        return struct.pack("<I", len(data)) + data[:CHUNK]
+
+    def PullChunk(self, query, offset):
+        data = self._staged.get(int(query), b"")
+        chunk = data[int(offset):int(offset) + CHUNK]
+        yield self.node.compute(len(chunk) * 0.02 * ns)  # stream-out cost
+        return chunk
+
+
+@dataclass
+class TpchResult:
+    query: int
+    elapsed: float              # simulated seconds
+    result: Table
+    exchange_bytes: int
+
+
+class DistributedTpch:
+    """One experiment instance: a cluster, a dataset, and an RPC mode."""
+
+    def __init__(self, mode: str = "hatrpc_function", sf: float = 0.005,
+                 n_workers: int = 9, per_row_cost: float = 50 * ns,
+                 seed: int = 0, testbed: Optional[Testbed] = None):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        self.sf = sf
+        self.n_workers = n_workers
+        self.per_row_cost = per_row_cost
+        self.tb = testbed or Testbed(n_nodes=n_workers + 1)
+        if len(self.tb.nodes) < n_workers + 1:
+            raise ValueError("testbed too small for the worker count")
+        self.db = generate(sf=sf, seed=seed)
+        _IDL_COUNTER[0] += 1
+        self.gen = load_idl(_worker_idl(mode, n_workers),
+                            f"tpch_gen_{mode}_{_IDL_COUNTER[0]}")
+        self._partitions = self._partition()
+        self._stubs: List = []
+        self._started = False
+
+    # -- data layout -----------------------------------------------------------
+    def _partition(self) -> List[Dict[str, Table]]:
+        import numpy as np
+        W = self.n_workers
+        parts = []
+        o = self.db["orders"]
+        li = self.db["lineitem"]
+        o_stripe = o["o_orderkey"] % W
+        l_stripe = li["l_orderkey"] % W
+        dims = {t: self.db[t] for t in
+                ("region", "nation", "supplier", "customer", "part",
+                 "partsupp")}
+        for w in range(W):
+            part = dict(dims)
+            part["orders"] = o.filter(o_stripe == w)
+            part["lineitem"] = li.filter(l_stripe == w)
+            parts.append(part)
+        return parts
+
+    def _plan(self):
+        if self.mode == "ipoib":
+            return pinned_plan(SERVICE, self.gen.SERVICE_FUNCTIONS[SERVICE],
+                               "tcp", PollMode.EVENT, 128 * KiB)
+        return None  # hint-driven
+
+    # -- cluster bring-up -----------------------------------------------------------
+    def start(self) -> "DistributedTpch":
+        """Coroutine-free setup + simulated connection establishment."""
+        sim = self.tb.sim
+        for w in range(self.n_workers):
+            node = self.tb.node(w + 1)
+            handler = _WorkerHandler(node, self._partitions[w],
+                                     self.per_row_cost)
+            HatRpcServer(node, self.gen, SERVICE, handler,
+                         base_service_id=BASE_SID,
+                         concurrency=self.n_workers,
+                         plan=self._plan()).start()
+
+        def connect_all():
+            for w in range(self.n_workers):
+                stub = yield from hatrpc_connect(
+                    self.tb.node(0), self.tb.node(w + 1), self.gen, SERVICE,
+                    base_service_id=BASE_SID, concurrency=self.n_workers,
+                    plan=self._plan())
+                # Warm the lazily established channels so per-query timings
+                # measure steady state, not connection setup.
+                yield from stub.Prepare(0)
+                yield from stub.PullChunk(0, 0)
+                self._stubs.append(stub)
+
+        sim.run(sim.process(connect_all()))
+        self._started = True
+        return self
+
+    # -- execution ----------------------------------------------------------------------
+    def run_query(self, query: int) -> TpchResult:
+        if not self._started:
+            raise RuntimeError("call start() first")
+        if query not in PLANS:
+            raise KeyError(f"TPC-H defines queries 1..22, not {query}")
+        sim = self.tb.sim
+        plan = PLANS[query]
+        partials: List[Table] = [None] * self.n_workers
+        volume = {"bytes": 0}
+
+        def fetch(w):
+            stub = self._stubs[w]
+            yield from stub.Prepare(query)
+            first = yield from stub.RunFragment(query)
+            (total,) = struct.unpack_from("<I", first)
+            data = first[4:]
+            volume["bytes"] += len(first)
+            while len(data) < total:
+                chunk = yield from stub.PullChunk(query, len(data))
+                data += chunk
+                volume["bytes"] += len(chunk)
+            partials[w] = deserialize_table(data)
+
+        t0 = sim.now
+        procs = [sim.process(fetch(w)) for w in range(self.n_workers)]
+        sim.run()
+        for p in procs:
+            p.value  # surface worker/coordinator failures
+        merged = _concat(partials)
+        done = sim.event()
+
+        def final_stage():
+            rows = len(merged) + sum(len(self.db[t])
+                                     for t in plan.final_touches)
+            yield self.tb.node(0).compute(rows * self.per_row_cost + 5e-6)
+            done.succeed()
+
+        sim.process(final_stage())
+        sim.run()
+        result = plan.final(merged, self.db)
+        return TpchResult(query=query, elapsed=sim.now - t0, result=result,
+                          exchange_bytes=volume["bytes"])
+
+    def run_all(self) -> Dict[int, TpchResult]:
+        return {q: self.run_query(q) for q in sorted(PLANS)}
+
+
+def _concat(tables: List[Table]) -> Table:
+    tables = [t for t in tables if t is not None and len(t.names) > 0]
+    non_empty = [t for t in tables if len(t) > 0]
+    if not non_empty:
+        return tables[0] if tables else Table({})
+    out = non_empty[0]
+    for t in non_empty[1:]:
+        out = out.concat(t)
+    return out

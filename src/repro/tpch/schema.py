@@ -1,0 +1,85 @@
+"""TPC-H schema: the eight tables and their columns.
+
+Dates are stored as integer days since 1992-01-01 (the TPC-H epoch);
+decimals as float64; identifiers as int64; low-cardinality strings as
+object arrays of short Python strings.
+"""
+
+from __future__ import annotations
+
+from datetime import date as _date
+
+__all__ = ["BASE_ROWS", "SCHEMA", "TABLES", "date_to_int", "int_to_date"]
+
+_EPOCH = _date(1992, 1, 1)
+
+
+def date_to_int(iso: str) -> int:
+    """'1994-01-01' -> days since the TPC-H epoch."""
+    y, m, d = map(int, iso.split("-"))
+    return (_date(y, m, d) - _EPOCH).days
+
+
+def int_to_date(days: int) -> str:
+    from datetime import timedelta
+    return (_EPOCH + timedelta(days=int(days))).isoformat()
+
+
+#: column -> kind ('id' int64, 'int' int64, 'dec' float64, 'date' int64 days,
+#: 'str' object)
+SCHEMA = {
+    "region": {
+        "r_regionkey": "id", "r_name": "str", "r_comment": "str",
+    },
+    "nation": {
+        "n_nationkey": "id", "n_name": "str", "n_regionkey": "id",
+        "n_comment": "str",
+    },
+    "supplier": {
+        "s_suppkey": "id", "s_name": "str", "s_address": "str",
+        "s_nationkey": "id", "s_phone": "str", "s_acctbal": "dec",
+        "s_comment": "str",
+    },
+    "customer": {
+        "c_custkey": "id", "c_name": "str", "c_address": "str",
+        "c_nationkey": "id", "c_phone": "str", "c_acctbal": "dec",
+        "c_mktsegment": "str", "c_comment": "str",
+    },
+    "part": {
+        "p_partkey": "id", "p_name": "str", "p_mfgr": "str",
+        "p_brand": "str", "p_type": "str", "p_size": "int",
+        "p_container": "str", "p_retailprice": "dec", "p_comment": "str",
+    },
+    "partsupp": {
+        "ps_partkey": "id", "ps_suppkey": "id", "ps_availqty": "int",
+        "ps_supplycost": "dec", "ps_comment": "str",
+    },
+    "orders": {
+        "o_orderkey": "id", "o_custkey": "id", "o_orderstatus": "str",
+        "o_totalprice": "dec", "o_orderdate": "date",
+        "o_orderpriority": "str", "o_clerk": "str", "o_shippriority": "int",
+        "o_comment": "str",
+    },
+    "lineitem": {
+        "l_orderkey": "id", "l_partkey": "id", "l_suppkey": "id",
+        "l_linenumber": "int", "l_quantity": "dec", "l_extendedprice": "dec",
+        "l_discount": "dec", "l_tax": "dec", "l_returnflag": "str",
+        "l_linestatus": "str", "l_shipdate": "date", "l_commitdate": "date",
+        "l_receiptdate": "date", "l_shipinstruct": "str",
+        "l_shipmode": "str", "l_comment": "str",
+    },
+}
+
+TABLES = tuple(SCHEMA)
+
+#: row counts at scale factor 1.0 (lineitem is ~4.0 per order on average).
+BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_001_215,
+}

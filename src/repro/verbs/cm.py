@@ -1,0 +1,105 @@
+"""Connection management: the rdma_cm equivalent.
+
+Connection establishment exchanges QP numbers and user ``private_data``
+(protocols use it to ship pre-registered buffer addresses and rkeys, exactly
+as real systems piggyback setup metadata on rdma_cm events).
+
+Timing: a fixed setup cost plus three wire round trips (REQ/REP/RTU), which
+is irrelevant to the steady-state benchmarks but keeps connection-heavy
+tests honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.cluster import Node
+from repro.sim.core import Event
+from repro.sim.sync import Store
+from repro.sim.units import us
+from repro.verbs.device import Device
+from repro.verbs.errors import VerbsError
+from repro.verbs.qp import QP
+from repro.verbs.types import QPState
+
+__all__ = ["ConnectionRequest", "Listener", "connect", "listen"]
+
+#: CM processing cost outside the wire trips (context setup, QP transitions).
+_CM_SETUP = 25 * us
+
+
+@dataclass
+class ConnectionRequest:
+    """A pending inbound connection seen by the passive side."""
+
+    listener: "Listener"
+    client_qp: QP
+    private_data: bytes
+    _reply: Event = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def accept(self, server_qp: QP, private_data: bytes = b""):
+        """Coroutine: complete the handshake with our QP and response data."""
+        if server_qp.peer is not None:
+            raise VerbsError("accept with an already-connected QP")
+        sim = server_qp.device.sim
+        wire = server_qp.device.fabric.params.wire_latency
+        server_qp.peer = self.client_qp
+        server_qp.state = QPState.RTS
+        # REP + RTU trips.
+        yield sim.timeout(2 * wire)
+        self.client_qp.peer = server_qp
+        self.client_qp.state = QPState.RTS
+        self._reply.succeed(private_data)
+
+    def reject(self, reason: str = "rejected"):
+        """Coroutine: refuse the connection."""
+        sim = self.listener.device.sim
+        yield sim.timeout(self.listener.device.fabric.params.wire_latency)
+        self._reply.fail(ConnectionRefusedError(reason))
+
+
+class Listener:
+    """A passive-side CM endpoint bound to (node, service_id)."""
+
+    def __init__(self, device: Device, service_id: int):
+        self.device = device
+        self.service_id = service_id
+        self._backlog: Store = Store(device.sim)
+
+    def accept(self):
+        """Event: fires with the next :class:`ConnectionRequest`."""
+        return self._backlog.get()
+
+    def close(self) -> None:
+        self.device._listeners.pop(self.service_id, None)
+
+
+def listen(device: Device, service_id: int) -> Listener:
+    if service_id in device._listeners:
+        raise VerbsError(
+            f"service_id {service_id} already bound on {device.node.name}")
+    lst = Listener(device, service_id)
+    device._listeners[service_id] = lst
+    return lst
+
+
+def connect(qp: QP, remote: Node, service_id: int, private_data: bytes = b""):
+    """Coroutine: active-side connect.
+
+    Returns the passive side's private_data once the handshake completes.
+    """
+    if qp.peer is not None:
+        raise VerbsError("connect with an already-connected QP")
+    rdev: Optional[Device] = remote.nic
+    if rdev is None:
+        raise VerbsError(f"no RDMA device on {remote.name}")
+    lst: Optional[Listener] = rdev._listeners.get(service_id)
+    if lst is None:
+        raise ConnectionRefusedError(
+            f"no listener for service_id {service_id} on {remote.name}")
+    sim = qp.device.sim
+    yield sim.timeout(_CM_SETUP + qp.device.fabric.params.wire_latency)  # REQ
+    reply = Event(sim)
+    lst._backlog.put(ConnectionRequest(lst, qp, private_data, reply))
+    return (yield reply)

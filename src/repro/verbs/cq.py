@@ -1,0 +1,127 @@
+"""Completion queues and the two polling disciplines.
+
+The paper's protocol analysis (Section 3.2) hinges on the busy-vs-event
+polling tradeoff:
+
+* **busy polling** (:meth:`CQ.wait_busy`) -- the thread stays runnable the
+  whole time (a *spinner* on the node's CPU scheduler), sees completions
+  with zero notification latency, but burns a core: with more pollers than
+  cores, everyone slows down (Figure 5's over-subscription collapse);
+* **event polling** (:meth:`CQ.wait_event`) -- the thread blocks on a
+  completion channel, pays interrupt + wakeup latency (~3 us) plus re-arm
+  CPU, but consumes no CPU while idle, so it scales.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List
+
+from repro.sim.core import Simulator
+from repro.sim.sync import Gate
+from repro.verbs.errors import CQOverflowError
+from repro.verbs.types import WC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verbs.device import Device
+
+__all__ = ["CQ", "CompChannel", "PollMode"]
+
+
+class PollMode(enum.Enum):
+    BUSY = "busy"
+    EVENT = "event"
+
+
+class CompChannel:
+    """Completion event channel (ibv_comp_channel): a wakeup broadcast."""
+
+    def __init__(self, sim: Simulator):
+        self.gate = Gate(sim)
+
+    def wait(self):
+        return self.gate.wait()
+
+    def fire(self) -> None:
+        self.gate.fire()
+
+
+class CQ:
+    """A completion queue bound to one device (and thus one node's CPU)."""
+
+    def __init__(self, sim: Simulator, device: "Device", capacity: int = 4096,
+                 channel: CompChannel | None = None):
+        self.sim = sim
+        self.device = device
+        self.capacity = capacity
+        self.channel = channel or CompChannel(sim)
+        self._q: Deque[WC] = deque()
+        self._gate = Gate(sim)  # fires on every push; used by busy pollers
+        self._armed = False
+        self.completions_total = 0
+
+    # -- NIC side -----------------------------------------------------------
+    def push(self, wc: WC) -> None:
+        if len(self._q) >= self.capacity:
+            raise CQOverflowError(
+                f"CQ overflow (capacity {self.capacity}); the protocol is "
+                "generating completions faster than it polls them")
+        self._q.append(wc)
+        self.completions_total += 1
+        self._gate.fire()
+        if self._armed:
+            self._armed = False
+            self.channel.fire()
+
+    # -- host side ------------------------------------------------------------
+    def poll(self, max_wc: int = 16) -> List[WC]:
+        """Non-blocking poll: pop up to ``max_wc`` completions (no sim time)."""
+        out = []
+        while self._q and len(out) < max_wc:
+            out.append(self._q.popleft())
+        return out
+
+    def req_notify(self) -> None:
+        """Arm the completion channel for the next completion."""
+        self._armed = True
+
+    def wait_busy(self, max_wc: int = 16):
+        """Coroutine: busy-poll until at least one completion is available."""
+        cost = self.device.cost
+        cpu = self.device.node.cpu
+        wcs = self.poll(max_wc)
+        if not wcs:
+            tok = cpu.spin_begin()
+            try:
+                while True:
+                    yield self._gate.wait()
+                    wcs = self.poll(max_wc)
+                    if wcs:
+                        break
+            finally:
+                cpu.spin_end(tok)
+        yield cpu.compute(cost.poll_cpu)
+        return wcs
+
+    def wait_event(self, max_wc: int = 16):
+        """Coroutine: block on the completion channel until completions arrive."""
+        cost = self.device.cost
+        cpu = self.device.node.cpu
+        while True:
+            wcs = self.poll(max_wc)
+            if wcs:
+                yield cpu.compute(cost.poll_cpu + cost.rearm_cpu)
+                return wcs
+            self.req_notify()
+            yield self.channel.wait()
+            yield self.sim.timeout(cost.interrupt_latency)
+
+    def wait(self, mode: PollMode, max_wc: int = 16):
+        """Coroutine: poll under the given discipline."""
+        if mode is PollMode.BUSY:
+            return (yield from self.wait_busy(max_wc))
+        return (yield from self.wait_event(max_wc))
+
+    def __len__(self) -> int:
+        return len(self._q)

@@ -1,0 +1,197 @@
+"""The simulated RNIC: device context, protection domains, memory regions."""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.netfab.fabric import Fabric, Port
+from repro.sim.cluster import Node
+from repro.sim.core import Simulator
+from repro.verbs.costmodel import CostModel
+from repro.verbs.cq import CQ, CompChannel
+from repro.verbs.errors import MemoryAccessError, VerbsError
+from repro.verbs.memory import Memory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verbs.qp import QP, SRQ
+
+__all__ = ["Device", "MR", "PD"]
+
+
+class MR:
+    """A registered memory region: an rkey/lkey window over node memory."""
+
+    __slots__ = ("pd", "addr", "length", "lkey", "rkey")
+
+    def __init__(self, pd: "PD", addr: int, length: int, key: int):
+        self.pd = pd
+        self.addr = addr
+        self.length = length
+        # Real verbs issues distinct lkey/rkey; sharing one integer keeps
+        # bookkeeping simple while preserving the access-check semantics.
+        self.lkey = key
+        self.rkey = key
+
+    def contains(self, addr: int, length: int) -> bool:
+        return self.addr <= addr and addr + length <= self.addr + self.length
+
+    def write(self, data: bytes, offset: int = 0) -> None:
+        """Host-side store into the region (no simulated cost)."""
+        if offset < 0 or offset + len(data) > self.length:
+            raise MemoryAccessError("MR host write out of bounds")
+        self.pd.device.mem.write(self.addr + offset, data)
+
+    def read(self, length: int, offset: int = 0) -> bytes:
+        """Host-side load from the region (no simulated cost)."""
+        if offset < 0 or offset + length > self.length:
+            raise MemoryAccessError("MR host read out of bounds")
+        return self.pd.device.mem.read(self.addr + offset, length)
+
+    def charge_registration(self):
+        """Coroutine: pay the one-time pinning cost (used at engine setup)."""
+        yield self.pd.device.node.cpu.compute(
+            self.pd.device.cost.reg_mr_time(self.length))
+
+    def deregister(self) -> None:
+        self.pd.device._dereg_mr(self)
+
+
+class PD:
+    """Protection domain: the registration scope for MRs and QPs."""
+
+    def __init__(self, device: "Device", handle: int):
+        self.device = device
+        self.handle = handle
+
+    def reg_mr(self, length: int, addr: Optional[int] = None) -> MR:
+        """Register ``length`` bytes (freshly allocated unless ``addr`` given).
+
+        Registration is free of simulated time here because every protocol in
+        this codebase registers at setup; use :meth:`MR.charge_registration`
+        where setup cost matters.
+        """
+        dev = self.device
+        if addr is None:
+            addr = dev.mem.alloc(length)
+        key = next(dev._keys)
+        mr = MR(self, addr, length, key)
+        dev._mrs[key] = mr
+        dev.registered_bytes += length
+        return mr
+
+
+class Device:
+    """One node's RDMA NIC (an ibv_context equivalent)."""
+
+    def __init__(self, sim: Simulator, node: Node, fabric: Fabric,
+                 cost: Optional[CostModel] = None):
+        self.sim = sim
+        self.node = node
+        self.fabric = fabric
+        self.cost = cost or CostModel()
+        self.port: Port = fabric.port_of(node)
+        self.mem = Memory()
+        self._mrs: Dict[int, MR] = {}
+        self._qps: Dict[int, "QP"] = {}
+        self._keys = itertools.count(0x1000)
+        self._qpn = itertools.count(1)
+        self._pdn = itertools.count(1)
+        self._listeners: Dict[int, "object"] = {}  # cm.Listener
+        self._watches: list["MemWatch"] = []
+        # -- instrumentation (read by ablation benches) --
+        self.registered_bytes = 0
+        self.doorbells = 0
+        self.wrs_posted = 0
+        node.nic = self
+
+    # -- factories ------------------------------------------------------------
+    def alloc_pd(self) -> PD:
+        return PD(self, next(self._pdn))
+
+    def create_cq(self, capacity: int = 4096,
+                  channel: Optional[CompChannel] = None) -> CQ:
+        return CQ(self.sim, self, capacity, channel)
+
+    def create_comp_channel(self) -> CompChannel:
+        return CompChannel(self.sim)
+
+    def create_qp(self, pd: PD, send_cq: CQ, recv_cq: CQ,
+                  srq: Optional["SRQ"] = None) -> "QP":
+        from repro.verbs.qp import QP  # local import breaks the cycle
+        qp = QP(self, pd, next(self._qpn), send_cq, recv_cq, srq)
+        self._qps[qp.qp_num] = qp
+        return qp
+
+    def create_srq(self) -> "SRQ":
+        from repro.verbs.qp import SRQ
+        return SRQ(self)
+
+    # -- lookup helpers used by the datapath ----------------------------------
+    def mr_for_rkey(self, rkey: int, addr: int, length: int) -> MR:
+        mr = self._mrs.get(rkey)
+        if mr is None:
+            raise MemoryAccessError(f"unknown rkey {rkey:#x}")
+        if not mr.contains(addr, length):
+            raise MemoryAccessError(
+                f"remote access [{addr:#x},+{length}) outside MR "
+                f"[{mr.addr:#x},+{mr.length})")
+        return mr
+
+    def check_lkey(self, lkey: int, addr: int, length: int) -> MR:
+        mr = self._mrs.get(lkey)
+        if mr is None:
+            raise MemoryAccessError(f"unknown lkey {lkey:#x}")
+        if not mr.contains(addr, length):
+            raise MemoryAccessError("local sge outside MR bounds")
+        return mr
+
+    def _dereg_mr(self, mr: MR) -> None:
+        if self._mrs.pop(mr.rkey, None) is not None:
+            self.registered_bytes -= mr.length
+
+    # -- cost helpers -----------------------------------------------------------
+    def cpu_time(self, base: float, numa_local: bool = True) -> float:
+        """Scale a CPU-side NIC interaction by the NUMA penalty if remote."""
+        return base if numa_local else base * self.cost.numa_remote_penalty
+
+    def memcpy(self, nbytes: int, numa_local: bool = True):
+        """Coroutine: charge a CPU-side copy of ``nbytes``."""
+        yield self.node.cpu.compute(
+            self.cpu_time(self.cost.memcpy_time(nbytes), numa_local))
+
+    # -- memory polling support -------------------------------------------------
+    def watch_memory(self, addr: int, length: int) -> "MemWatch":
+        """Register interest in inbound RDMA WRITEs touching a range.
+
+        This models *memory polling* (HERD/FaRM/RFP servers spin on the tail
+        byte of a request slot): the watch's gate fires the instant an inbound
+        WRITE lands in the range -- the moment a real polling loop would see
+        the data.  The watcher is responsible for holding a CPU spin token
+        while it "polls"; the gate is only the simulation's wakeup channel.
+        """
+        w = MemWatch(self, addr, length)
+        self._watches.append(w)
+        return w
+
+    def _notify_write(self, addr: int, length: int) -> None:
+        for w in self._watches:
+            if addr < w.addr + w.length and w.addr < addr + length:
+                w.gate.fire()
+
+
+class MemWatch:
+    """Handle for a registered memory watch (see Device.watch_memory)."""
+
+    def __init__(self, device: "Device", addr: int, length: int):
+        from repro.sim.sync import Gate
+        self.device = device
+        self.addr = addr
+        self.length = length
+        self.gate = Gate(device.sim)
+
+    def cancel(self) -> None:
+        try:
+            self.device._watches.remove(self)
+        except ValueError:
+            pass

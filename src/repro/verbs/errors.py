@@ -1,0 +1,24 @@
+"""Verbs-layer exceptions."""
+
+__all__ = [
+    "CQOverflowError",
+    "MemoryAccessError",
+    "QPStateError",
+    "VerbsError",
+]
+
+
+class VerbsError(RuntimeError):
+    """Base class for simulated-verbs failures."""
+
+
+class MemoryAccessError(VerbsError):
+    """Out-of-bounds access or bad lkey/rkey (maps to IBV_WC_REM_ACCESS_ERR)."""
+
+
+class QPStateError(VerbsError):
+    """Operation posted on a QP not in the required state."""
+
+
+class CQOverflowError(VerbsError):
+    """More completions generated than the CQ has capacity for."""

@@ -1,0 +1,105 @@
+"""Flat per-node virtual memory with a segment allocator.
+
+Memory regions (MRs) are windows over this space; RDMA ops move real bytes
+between nodes' Memory objects, so payload contents survive end-to-end --
+which lets the upper layers (Thrift serialization, HatKV) be tested for
+actual data correctness, not just timing.
+
+Each allocation is a *segment* whose backing bytearray grows on first write
+(reads beyond the written extent return zeros, like freshly mapped pages).
+This keeps large pre-registered-but-idle buffer pools -- e.g. 512
+connections x 512 KiB eager rings in the throughput benchmarks -- at near
+zero host RAM.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List
+
+from repro.verbs.errors import MemoryAccessError
+
+__all__ = ["Memory"]
+
+_ALIGN = 64  # cache-line alignment for all allocations
+
+
+class _Segment:
+    __slots__ = ("base", "size", "data")
+
+    def __init__(self, base: int, size: int):
+        self.base = base
+        self.size = size
+        self.data = bytearray()  # grows to the high-water written offset
+
+    def write(self, off: int, payload: bytes) -> None:
+        end = off + len(payload)
+        if end > len(self.data):
+            self.data.extend(bytearray(end - len(self.data)))
+        self.data[off:end] = payload
+
+    def read(self, off: int, length: int) -> bytes:
+        end = off + length
+        have = self.data[off:min(end, len(self.data))]
+        if len(have) < length:
+            return bytes(have) + bytes(length - len(have))
+        return bytes(have)
+
+
+class Memory:
+    """Auto-growing byte store; allocations are bounds-checked segments."""
+
+    def __init__(self, initial: int = 0):
+        # ``initial`` is accepted for API compatibility; segments are lazy.
+        self._brk = _ALIGN  # keep address 0 invalid, like NULL
+        self._bases: List[int] = []
+        self._segs: Dict[int, _Segment] = {}
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the base address."""
+        if size <= 0:
+            raise ValueError(f"alloc size must be positive, got {size}")
+        addr = self._brk
+        self._brk += (size + _ALIGN - 1) // _ALIGN * _ALIGN
+        seg = _Segment(addr, size)
+        bisect.insort(self._bases, addr)
+        self._segs[addr] = seg
+        return addr
+
+    def free(self, addr: int) -> None:
+        if addr not in self._segs:
+            raise MemoryAccessError(f"free of unallocated address {addr:#x}")
+        del self._segs[addr]
+        self._bases.remove(addr)
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(s.size for s in self._segs.values())
+
+    @property
+    def resident_bytes(self) -> int:
+        """Actually materialized (written) bytes -- a host-RAM gauge."""
+        return sum(len(s.data) for s in self._segs.values())
+
+    def _segment(self, addr: int, length: int) -> _Segment:
+        if length < 0:
+            raise MemoryAccessError("negative access length")
+        i = bisect.bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            seg = self._segs.get(self._bases[i])
+            if seg is not None and addr + length <= seg.base + seg.size:
+                return seg
+        raise MemoryAccessError(
+            f"access [{addr:#x}, {addr + length:#x}) outside any allocation")
+
+    def write(self, addr: int, data: bytes) -> None:
+        seg = self._segment(addr, len(data))
+        seg.write(addr - seg.base, data)
+
+    def read(self, addr: int, length: int) -> bytes:
+        seg = self._segment(addr, length)
+        return seg.read(addr - seg.base, length)
+
+    def fill(self, addr: int, length: int, byte: int = 0) -> None:
+        seg = self._segment(addr, length)
+        seg.write(addr - seg.base, bytes([byte]) * length)

@@ -1,0 +1,132 @@
+"""YCSB request-distribution generators.
+
+Ports of the generators in the YCSB core package [Cooper et al., SoCC'10]:
+the zipfian generator uses the Gray et al. "Quickly generating
+billion-record synthetic databases" constant-time algorithm, and the
+scrambled variant spreads the hot items across the keyspace with a hash,
+both exactly as upstream YCSB does.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "DiscreteGenerator",
+    "LatestGenerator",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "ZipfianGenerator",
+]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a over the 8 little-endian bytes of ``value`` (YCSB's hash)."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+class UniformGenerator:
+    def __init__(self, lo: int, hi: int, seed: int = 0):
+        if hi < lo:
+            raise ValueError("hi < lo")
+        self.lo, self.hi = lo, hi
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.randint(self.lo, self.hi)
+
+
+class ZipfianGenerator:
+    """Zipf-distributed integers in [0, n) with constant-time sampling."""
+
+    ZIPFIAN_CONSTANT = 0.99
+
+    def __init__(self, n: int, theta: float = ZIPFIAN_CONSTANT,
+                 seed: int = 0):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self.zeta_n = self._zeta(n, theta)
+        self.zeta2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        denom = 1 - self.zeta2 / self.zeta_n
+        # n <= 2 degenerates (zeta2 == zeta_n); the early-return branches in
+        # next() then cover the whole [0, zeta_n) range, so eta is unused.
+        self.eta = (0.0 if abs(denom) < 1e-12
+                    else (1 - (2.0 / n) ** (1 - theta)) / denom)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i + 1) ** theta for i in range(n))
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        base = max(self.eta * u - self.eta + 1, 0.0)
+        return min(int(self.n * base ** self.alpha), self.n - 1)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity ranks scattered over the keyspace via FNV."""
+
+    def __init__(self, n: int, seed: int = 0):
+        self.n = n
+        self._zipf = ZipfianGenerator(n, seed=seed)
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipf.next()) % self.n
+
+
+class LatestGenerator:
+    """Skewed towards the most recently inserted item (YCSB 'latest')."""
+
+    def __init__(self, n: int, seed: int = 0):
+        self._max = n - 1
+        self._zipf = ZipfianGenerator(n, seed=seed)
+
+    def advance(self) -> None:
+        self._max += 1
+
+    def next(self) -> int:
+        return self._max - self._zipf.next() % (self._max + 1)
+
+
+class DiscreteGenerator:
+    """Weighted choice among labeled outcomes (the operation mix)."""
+
+    def __init__(self, weighted: Sequence[Tuple[str, float]], seed: int = 0):
+        if not weighted:
+            raise ValueError("empty mix")
+        total = sum(w for _, w in weighted)
+        if total <= 0:
+            raise ValueError("weights must sum to > 0")
+        self._items: List[Tuple[str, float]] = []
+        acc = 0.0
+        for label, w in weighted:
+            if w < 0:
+                raise ValueError(f"negative weight for {label}")
+            acc += w / total
+            self._items.append((label, acc))
+        self._rng = random.Random(seed)
+
+    def next(self) -> str:
+        u = self._rng.random()
+        for label, cum in self._items:
+            if u <= cum:
+                return label
+        return self._items[-1][0]

@@ -1,0 +1,89 @@
+"""YCSB run loop against any KVService stub factory.
+
+The runner owns the simulation choreography of Section 5.4: one server
+node, clients spread across four client nodes, a load phase (direct into
+the backend -- load time is not measured by the paper), then a measured run
+phase.  It is transport-agnostic: pass a ``connect`` coroutine factory so
+the same runner drives HatKV and every emulated comparator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro.bench.stats import LatencyStats
+from repro.hatkv.server import HatKVServer
+from repro.testbed import Testbed
+from repro.ycsb.workload import OpType, Workload, WorkloadSpec
+
+__all__ = ["YcsbResult", "run_ycsb"]
+
+
+@dataclass
+class YcsbResult:
+    throughput_ops: float
+    per_op: Dict[OpType, LatencyStats]
+    total_ops: int
+
+    def latency(self, op: OpType) -> LatencyStats:
+        return self.per_op[op]
+
+
+def run_ycsb(server: HatKVServer, connect: Callable, spec: WorkloadSpec,
+             testbed: Testbed, n_clients: int = 16, ops_per_client: int = 20,
+             warmup_per_client: int = 3, n_client_nodes: int = 4,
+             seed: int = 0) -> YcsbResult:
+    """Run one YCSB experiment; ``connect(node)`` is a coroutine returning
+    a stub with Get/Put/MultiGet/MultiPut coroutines."""
+    sim = server.node.sim
+    # Load phase: populate the backend directly (not timed, as in YCSB).
+    loader = Workload(spec, seed=seed)
+    env = server.backend.env
+    with env.begin(write=True) as txn:
+        for key, value in loader.load_items():
+            txn.put(key, value)
+
+    per_op: Dict[OpType, LatencyStats] = {op: LatencyStats() for op in OpType}
+    window = {"start": None, "end": 0.0, "ops": 0}
+    client_nodes = testbed.nodes[1:1 + n_client_nodes]
+
+    def client(i):
+        node = client_nodes[i % len(client_nodes)]
+        wl = Workload(spec, seed=seed * 7919 + i,
+                      insert_start=spec.record_count + i * 1_000_000)
+        stub = yield from connect(node)
+        for k in range(warmup_per_client + ops_per_client):
+            op, args = wl.next_op()
+            t0 = sim.now
+            if op is OpType.GET:
+                value = yield from stub.Get(*args)
+                assert value is not None
+            elif op is OpType.PUT:
+                yield from stub.Put(*args)
+            elif op is OpType.MULTI_GET:
+                values = yield from stub.MultiGet(*args)
+                assert len(values) == len(args[0])
+            elif op is OpType.MULTI_PUT:
+                yield from stub.MultiPut(*args)
+            elif op is OpType.SCAN:
+                flat = yield from stub.Scan(*args)
+                assert len(flat) % 2 == 0
+            else:  # INSERT
+                yield from stub.Put(*args)
+            if k < warmup_per_client:
+                continue
+            if window["start"] is None:
+                window["start"] = t0
+            per_op[op].record(sim.now - t0)
+            window["ops"] += 1
+            window["end"] = max(window["end"], sim.now)
+
+    procs = [sim.process(client(i), name=f"ycsb-{i}")
+             for i in range(n_clients)]
+    sim.run()
+    for p in procs:
+        p.value  # surface any client-side failure instead of undercounting
+    duration = max(window["end"] - (window["start"] or 0.0), 1e-12)
+    return YcsbResult(throughput_ops=window["ops"] / duration,
+                      per_op=per_op, total_ops=window["ops"])

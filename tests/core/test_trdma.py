@@ -1,0 +1,145 @@
+"""TRdma transport + HintedProtocol unit tests."""
+
+import pytest
+
+from repro.core.engine import HatRpcEngine, pinned_plan
+from repro.core.runtime import HatRpcServer, hatrpc_connect
+from repro.core.trdma import HintedProtocol, TRdma
+from repro.idl import load_idl
+from repro.sim.units import KiB
+from repro.testbed import Testbed
+from repro.thrift import TBinaryProtocol, TMessageType
+from repro.verbs.cq import PollMode
+
+IDL = """
+service Echo {
+    string Ping(1: string msg),
+    oneway void Fire(1: i64 token),
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return load_idl(IDL, "trdma_gen")
+
+
+def test_flush_without_method_context_rejected():
+    tb = Testbed(n_nodes=2)
+    plan = pinned_plan("Echo", ["Ping"], "direct_writeimm", PollMode.BUSY,
+                       max_msg=8 * KiB)
+    trans = TRdma(HatRpcEngine(tb.node(0), plan))
+    trans.write(b"raw bytes")
+
+    def run():
+        yield from trans.flush()
+
+    p = tb.sim.process(run())
+    with pytest.raises(RuntimeError, match="HintedProtocol"):
+        tb.sim.run(p)
+
+
+def test_hinted_protocol_captures_method_and_oneway(gen):
+    tb = Testbed(n_nodes=2)
+
+    class H:
+        def __init__(self):
+            self.fired = []
+
+        def Ping(self, msg):
+            return msg
+
+        def Fire(self, token):
+            self.fired.append(token)
+
+    h = H()
+    HatRpcServer(tb.node(0), gen, "Echo", h).start()
+
+    def client():
+        stub = yield from hatrpc_connect(tb.node(1), tb.node(0), gen, "Echo")
+        trans = stub._hatrpc.trans
+        yield from stub.Ping("a")
+        assert trans._current_fn == "Ping"
+        assert trans._current_oneway is False
+        yield from stub.Fire(9)
+        assert trans._current_fn == "Fire"
+        assert trans._current_oneway is True
+        return trans._fn_switches
+
+    p = tb.sim.process(client())
+    switches = tb.sim.run(p)
+    tb.sim.run()
+    assert switches == 2  # one switch per distinct function
+    assert h.fired == [9]
+
+
+def test_fn_switch_cache_avoids_recounting(gen):
+    """Repeated calls to the same function hit the cached route (the
+    paper's dynamic-hint minimization)."""
+    tb = Testbed(n_nodes=2)
+
+    class H:
+        def Ping(self, msg):
+            return msg
+
+        def Fire(self, token):
+            pass
+
+    HatRpcServer(tb.node(0), gen, "Echo", H()).start()
+
+    def client():
+        stub = yield from hatrpc_connect(tb.node(1), tb.node(0), gen, "Echo")
+        for _ in range(10):
+            yield from stub.Ping("x")
+        return stub._hatrpc.trans._fn_switches
+
+    p = tb.sim.process(client())
+    assert tb.sim.run(p) == 1
+
+
+def test_trdma_read_serves_buffered_response(gen):
+    tb = Testbed(n_nodes=2)
+
+    class H:
+        def Ping(self, msg):
+            return msg.upper()
+
+        def Fire(self, token):
+            pass
+
+    HatRpcServer(tb.node(0), gen, "Echo", H()).start()
+
+    def client():
+        stub = yield from hatrpc_connect(tb.node(1), tb.node(0), gen, "Echo")
+        out = yield from stub.Ping("abc")
+        trans = stub._hatrpc.trans
+        # After a completed call the read buffer is fully consumed.
+        assert trans.read(1024) == b""
+        return out
+
+    p = tb.sim.process(client())
+    assert tb.sim.run(p) == "ABC"
+
+
+def test_hinted_protocol_delegates_everything():
+    from repro.thrift import TMemoryBuffer
+
+    class FakeTrans:
+        def __init__(self):
+            self.seen = None
+
+        def set_current_function(self, name, mtype):
+            self.seen = (name, mtype)
+
+    buf = TMemoryBuffer()
+    inner = TBinaryProtocol(buf)
+    fake = FakeTrans()
+    prot = HintedProtocol(inner, fake)
+    prot.write_message_begin("DoIt", TMessageType.CALL, 7)
+    assert fake.seen == ("DoIt", TMessageType.CALL)
+    # delegated attribute access:
+    prot.write_i32(42)
+    assert prot.trans is buf
+    name, mtype, seqid = TBinaryProtocol(
+        TMemoryBuffer(buf.getvalue())).read_message_begin()
+    assert (name, mtype, seqid) == ("DoIt", TMessageType.CALL, 7)

@@ -1,0 +1,152 @@
+"""LMDB backend adapter: cost accounting, tuning, writer serialization."""
+
+import pytest
+
+from repro.core.hints import ResolvedHints
+from repro.hatkv.backend import BackendCosts, LmdbBackend
+from repro.lmdb import SyncMode
+from repro.testbed import Testbed
+
+
+@pytest.fixture
+def tb():
+    return Testbed(n_nodes=1)
+
+
+@pytest.fixture
+def backend(tb):
+    return LmdbBackend(tb.node(0))
+
+
+def run(tb, gen):
+    return tb.sim.run(tb.sim.process(gen))
+
+
+def test_put_get_roundtrip_with_time(tb, backend):
+    def flow():
+        t0 = tb.sim.now
+        yield from backend.put(b"k", b"v" * 100)
+        t_put = tb.sim.now - t0
+        value = yield from backend.get(b"k")
+        return value, t_put
+
+    value, t_put = run(tb, flow())
+    assert value == b"v" * 100
+    assert t_put > 0  # writes consume simulated time
+
+
+def test_get_missing_returns_none(tb, backend):
+    def flow():
+        return (yield from backend.get(b"missing"))
+
+    assert run(tb, flow()) is None
+
+
+def test_multi_ops(tb, backend):
+    keys = [f"k{i}".encode() for i in range(10)]
+    values = [f"v{i}".encode() * 10 for i in range(10)]
+
+    def flow():
+        yield from backend.multi_put(keys, values)
+        got = yield from backend.multi_get(keys + [b"nope"])
+        return got
+
+    got = run(tb, flow())
+    assert got[:10] == values
+    assert got[10] is None
+    assert backend.writes == 10
+    assert backend.reads == 11
+
+
+def test_multi_put_length_mismatch(tb, backend):
+    def flow():
+        yield from backend.multi_put([b"a"], [b"x", b"y"])
+
+    p = tb.sim.process(flow())
+    with pytest.raises(ValueError):
+        tb.sim.run(p)
+
+
+def test_writer_serialization(tb, backend):
+    """Concurrent writers queue on the single-writer mutex."""
+    order = []
+
+    def writer(i):
+        yield from backend.put(f"w{i}".encode(), b"data" * 200)
+        order.append((i, tb.sim.now))
+
+    for i in range(4):
+        tb.sim.process(writer(i))
+    tb.sim.run()
+    times = [t for _, t in order]
+    assert times == sorted(times)
+    assert len(set(times)) == 4  # strictly serialized, no two finish together
+
+
+def test_deeper_tree_costs_more(tb):
+    costs = BackendCosts()
+    shallow = LmdbBackend(tb.node(0), costs=costs)
+    deep = LmdbBackend(tb.node(0), costs=costs)
+    with deep.env.begin(write=True) as txn:
+        for i in range(3000):
+            txn.put(f"{i:08d}".encode(), b"v")
+    with shallow.env.begin(write=True) as txn:
+        txn.put(b"only", b"v")
+
+    def timed_get(b, key):
+        t0 = tb.sim.now
+        yield from b.get(key)
+        return tb.sim.now - t0
+
+    t_shallow = run(tb, timed_get(shallow, b"only"))
+    t_deep = run(tb, timed_get(deep, b"00001500"))
+    assert t_deep > t_shallow
+
+
+def test_apply_hints_throughput(tb, backend):
+    backend.apply_hints(ResolvedHints.from_mapping(
+        {"perf_goal": "throughput", "concurrency": 96}))
+    assert backend.env.max_readers == 96
+    assert backend._group_commit
+    assert backend.env.sync_mode is SyncMode.NOSYNC
+
+
+def test_apply_hints_res_util_keeps_durability(tb, backend):
+    backend.apply_hints(ResolvedHints.from_mapping(
+        {"perf_goal": "res_util"}))
+    assert backend.env.sync_mode is SyncMode.SYNC
+    assert not backend._group_commit
+
+
+def test_group_commit_cheaper_than_sync(tb):
+    sync_b = LmdbBackend(tb.node(0))
+    sync_b.env.sync_mode = SyncMode.SYNC
+    group_b = LmdbBackend(tb.node(0))
+    group_b.apply_hints(ResolvedHints.from_mapping(
+        {"perf_goal": "throughput"}))
+    assert group_b._commit_cost() < sync_b._commit_cost()
+
+
+def test_reader_table_backoff(tb):
+    """With a tiny reader table, readers wait instead of erroring."""
+    backend = LmdbBackend(tb.node(0))
+    backend.env.max_readers = 1
+    with backend.env.begin(write=True) as txn:
+        txn.put(b"k", b"v")
+    done = []
+
+    def reader(i):
+        v = yield from backend.get(b"k")
+        done.append(v)
+
+    # Hold the single reader slot for a while.
+    hog = backend.env.begin()
+
+    def release_later():
+        yield tb.sim.timeout(20e-6)
+        hog.commit()
+
+    tb.sim.process(reader(0))
+    tb.sim.process(release_later())
+    tb.sim.run()
+    assert done == [b"v"]

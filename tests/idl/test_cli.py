@@ -1,0 +1,110 @@
+"""Tests for the hatrpc-gen command line."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.idl.__main__ import main
+
+IDL = """
+service Calc {
+    hint: perf_goal = latency;
+    i32 add(1: i32 a, 2: i32 b),
+    binary bulk(1: binary blob) [ hint: perf_goal = throughput,
+                                        payload_size = 128KB,
+                                        concurrency = 64; ]
+}
+"""
+
+BAD_HINT = "service S { hint: perf_goal = warp; void f(), }"
+BAD_SYNTAX = "service S { void f( }"
+
+
+@pytest.fixture
+def idl_file(tmp_path):
+    p = tmp_path / "calc.thrift"
+    p.write_text(IDL)
+    return p
+
+
+def test_compile_to_default_output(idl_file, capsys):
+    assert main([str(idl_file)]) == 0
+    out_path = idl_file.with_name("calc_gen.py")
+    assert out_path.exists()
+    assert "class CalcClient" in out_path.read_text()
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_compile_to_explicit_output(idl_file, tmp_path):
+    out = tmp_path / "sub"
+    out.mkdir()
+    target = out / "calc.py"
+    assert main([str(idl_file), "-o", str(target)]) == 0
+    assert "SERVICE_HINTS" in target.read_text()
+
+
+def test_print_to_stdout(idl_file, capsys):
+    assert main([str(idl_file), "--print"]) == 0
+    src = capsys.readouterr().out
+    assert "class CalcProcessor" in src
+    compile(src, "calc_gen.py", "exec")  # must be valid python
+
+
+def test_check_mode(idl_file, capsys):
+    assert main([str(idl_file), "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "2 function(s)" in out
+
+
+def test_plan_mode(idl_file, capsys):
+    assert main([str(idl_file), "--plan"]) == 0
+    out = capsys.readouterr().out
+    assert "service Calc:" in out
+    assert "direct_writeimm" in out
+    assert "rfp" in out  # bulk: 128KB @ 64 clients
+
+
+def test_bad_hint_strict_fails(tmp_path, capsys):
+    p = tmp_path / "bad.thrift"
+    p.write_text(BAD_HINT)
+    assert main([str(p)]) == 1
+    assert "unsupported value" in capsys.readouterr().err
+
+
+def test_bad_hint_lenient_warns(tmp_path, capsys):
+    p = tmp_path / "bad.thrift"
+    p.write_text(BAD_HINT)
+    assert main([str(p), "--check", "--lenient"]) == 0
+    assert "dropped hint" in capsys.readouterr().err
+
+
+def test_syntax_error_reported(tmp_path, capsys):
+    p = tmp_path / "broken.thrift"
+    p.write_text(BAD_SYNTAX)
+    assert main([str(p)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_file(capsys):
+    assert main(["/does/not/exist.thrift"]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_module_invocation(idl_file):
+    """python -m repro.idl works as a subprocess entry point."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.idl", str(idl_file), "--check"],
+        capture_output=True, text=True, timeout=60)
+    assert proc.returncode == 0
+    assert "OK" in proc.stdout
+
+
+def test_generated_module_importable(idl_file, tmp_path):
+    target = tmp_path / "calc_gen_mod.py"
+    assert main([str(idl_file), "-o", str(target)]) == 0
+    import importlib.util
+    spec = importlib.util.spec_from_file_location("calc_gen_mod", target)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    assert mod.SERVICE_FUNCTIONS["Calc"] == ["add", "bulk"]

@@ -1,0 +1,87 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.idl.lexer import LexError, TokenKind, tokenize
+
+
+def kinds_values(src):
+    return [(t.kind, t.value) for t in tokenize(src) if t.kind != TokenKind.EOF]
+
+
+def test_keywords_vs_identifiers():
+    toks = kinds_values("service MyService hint s_hint c_hint myhint")
+    assert toks == [
+        (TokenKind.KEYWORD, "service"),
+        (TokenKind.IDENT, "MyService"),
+        (TokenKind.KEYWORD, "hint"),
+        (TokenKind.KEYWORD, "s_hint"),
+        (TokenKind.KEYWORD, "c_hint"),
+        (TokenKind.IDENT, "myhint"),
+    ]
+
+
+def test_numbers():
+    toks = kinds_values("42 -7 3.14 1e9 -2.5e-3 0x1F")
+    assert toks == [
+        (TokenKind.INT, "42"),
+        (TokenKind.INT, "-7"),
+        (TokenKind.DOUBLE, "3.14"),
+        (TokenKind.DOUBLE, "1e9"),
+        (TokenKind.DOUBLE, "-2.5e-3"),
+        (TokenKind.INT, "0x1F"),
+    ]
+
+
+def test_size_suffix_splits_into_int_and_ident():
+    toks = kinds_values("payload_size = 128KB")
+    assert toks == [
+        (TokenKind.IDENT, "payload_size"),
+        (TokenKind.SYMBOL, "="),
+        (TokenKind.INT, "128"),
+        (TokenKind.IDENT, "KB"),
+    ]
+
+
+def test_strings_with_escapes():
+    toks = kinds_values(r'"hello \"world\"" ' + r"'single\n'")
+    assert toks == [
+        (TokenKind.STRING, 'hello "world"'),
+        (TokenKind.STRING, "single\n"),
+    ]
+
+
+@pytest.mark.parametrize("src", [
+    "// line comment\nservice",
+    "# hash comment\nservice",
+    "/* block\ncomment */ service",
+])
+def test_comments_skipped(src):
+    assert kinds_values(src) == [(TokenKind.KEYWORD, "service")]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError, match="unterminated block"):
+        tokenize("/* never ends")
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError, match="unterminated string"):
+        tokenize('"never ends')
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError, match="unexpected character"):
+        tokenize("service @bad")
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("a\n  bb\n   ccc")
+    assert [(t.value, t.line, t.col) for t in toks[:3]] == [
+        ("a", 1, 1), ("bb", 2, 3), ("ccc", 3, 4)]
+
+
+def test_symbols():
+    toks = kinds_values("{ } ( ) [ ] < > , ; : = *")
+    assert all(k == TokenKind.SYMBOL for k, _ in toks)
+    assert [v for _, v in toks] == list("{}()[]<>,;:=*")

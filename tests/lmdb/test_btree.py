@@ -1,0 +1,119 @@
+"""B+Tree unit and property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lmdb.btree import BTree, ORDER
+
+
+def test_empty_tree():
+    t = BTree()
+    assert t.get(b"x") is None
+    assert t.size == 0
+    assert list(t.items()) == []
+
+
+def test_put_get_single():
+    t = BTree().put(b"k", b"v")
+    assert t.get(b"k") == b"v"
+    assert t.size == 1
+
+
+def test_put_overwrites():
+    t = BTree().put(b"k", b"v1").put(b"k", b"v2")
+    assert t.get(b"k") == b"v2"
+    assert t.size == 1
+
+
+def test_persistence_old_versions_unchanged():
+    t1 = BTree().put(b"a", b"1")
+    t2 = t1.put(b"b", b"2")
+    t3 = t2.put(b"a", b"changed")
+    assert t1.get(b"b") is None
+    assert t2.get(b"a") == b"1"
+    assert t3.get(b"a") == b"changed"
+
+
+def test_many_inserts_splits_and_order():
+    t = BTree()
+    n = ORDER * ORDER  # force at least two levels of splits
+    for i in range(n):
+        t = t.put(f"{i:08d}".encode(), str(i * i).encode())
+    assert t.size == n
+    assert t.depth >= 3
+    keys = [k for k, _ in t.items()]
+    assert keys == sorted(keys)
+    assert len(keys) == n
+    for i in (0, 1, n // 2, n - 1):
+        assert t.get(f"{i:08d}".encode()) == str(i * i).encode()
+
+
+def test_delete():
+    t = BTree()
+    for i in range(100):
+        t = t.put(f"{i:04d}".encode(), b"v")
+    t2 = t.delete(b"0050")
+    assert t2.get(b"0050") is None
+    assert t.get(b"0050") == b"v"  # old version intact
+    assert t2.size == 99
+    assert t2.delete(b"missing") is t2
+
+
+def test_delete_everything():
+    t = BTree()
+    keys = [f"{i:04d}".encode() for i in range(200)]
+    for k in keys:
+        t = t.put(k, k)
+    for k in keys:
+        t = t.delete(k)
+    assert t.size == 0
+    assert list(t.items()) == []
+
+
+def test_range_iteration():
+    t = BTree()
+    for i in range(100):
+        t = t.put(f"{i:04d}".encode(), b"v")
+    got = [k for k, _ in t.items(lo=b"0010", hi=b"0020")]
+    assert got == [f"{i:04d}".encode() for i in range(10, 20)]
+
+
+def test_type_errors():
+    with pytest.raises(TypeError):
+        BTree().put("notbytes", b"v")  # type: ignore[arg-type]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["put", "del"]),
+                          st.binary(min_size=1, max_size=8),
+                          st.binary(max_size=16)), max_size=300))
+def test_matches_dict_model(ops):
+    t = BTree()
+    model = {}
+    for op, k, v in ops:
+        if op == "put":
+            t = t.put(k, v)
+            model[k] = v
+        else:
+            t = t.delete(k)
+            model.pop(k, None)
+    assert t.size == len(model)
+    assert dict(t.items()) == model
+    for k in model:
+        assert t.get(k) == model[k]
+    # ordering invariant
+    keys = [k for k, _ in t.items()]
+    assert keys == sorted(model)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.binary(min_size=1, max_size=6), max_size=200),
+       st.binary(max_size=6), st.binary(max_size=6))
+def test_range_query_matches_model(keys, lo, hi):
+    if lo > hi:
+        lo, hi = hi, lo
+    t = BTree()
+    for k in keys:
+        t = t.put(k, k)
+    got = [k for k, _ in t.items(lo=lo, hi=hi)]
+    assert got == sorted(k for k in keys if lo <= k < hi)

@@ -1,0 +1,168 @@
+"""Environment / transaction / cursor semantics."""
+
+import pytest
+
+from repro.lmdb import (
+    Environment,
+    MapFullError,
+    ReadersFullError,
+    SyncMode,
+    TxnError,
+)
+
+
+@pytest.fixture
+def env():
+    e = Environment(map_size=1 << 20, max_readers=4)
+    e.open_db("main")
+    return e
+
+
+def test_put_commit_get(env):
+    with env.begin(write=True) as txn:
+        txn.put(b"k", b"v")
+    with env.begin() as txn:
+        assert txn.get(b"k") == b"v"
+
+
+def test_abort_discards(env):
+    txn = env.begin(write=True)
+    txn.put(b"k", b"v")
+    txn.abort()
+    with env.begin() as r:
+        assert r.get(b"k") is None
+
+
+def test_exception_in_with_block_aborts(env):
+    with pytest.raises(RuntimeError, match="boom"):
+        with env.begin(write=True) as txn:
+            txn.put(b"k", b"v")
+            raise RuntimeError("boom")
+    with env.begin() as r:
+        assert r.get(b"k") is None
+
+
+def test_single_writer_enforced(env):
+    t1 = env.begin(write=True)
+    with pytest.raises(TxnError, match="single-writer"):
+        env.begin(write=True)
+    t1.commit()
+    env.begin(write=True).commit()
+
+
+def test_snapshot_isolation(env):
+    with env.begin(write=True) as w:
+        w.put(b"k", b"old")
+    reader = env.begin()
+    with env.begin(write=True) as w:
+        w.put(b"k", b"new")
+    # The reader still sees its snapshot...
+    assert reader.get(b"k") == b"old"
+    reader.commit()
+    # ...and a fresh reader sees the commit.
+    with env.begin() as r:
+        assert r.get(b"k") == b"new"
+
+
+def test_reader_table_bounded(env):
+    readers = [env.begin() for _ in range(4)]
+    with pytest.raises(ReadersFullError):
+        env.begin()
+    readers[0].commit()
+    env.begin().commit()
+    for r in readers[1:]:
+        r.commit()
+
+
+def test_write_in_read_txn_rejected(env):
+    with env.begin() as r:
+        with pytest.raises(TxnError):
+            r.put(b"k", b"v")
+
+
+def test_use_after_commit_rejected(env):
+    txn = env.begin(write=True)
+    txn.put(b"k", b"v")
+    txn.commit()
+    with pytest.raises(TxnError):
+        txn.get(b"k")
+
+
+def test_map_full(env):
+    small = Environment(map_size=100)
+    small.open_db("main")
+    with pytest.raises(MapFullError):
+        with small.begin(write=True) as txn:
+            txn.put(b"k", b"v" * 200)
+    # the failed charge must not leak into accounting
+    assert small.stat().data_bytes == 0
+
+
+def test_map_accounting_updates_and_deletes(env):
+    with env.begin(write=True) as txn:
+        txn.put(b"key1", b"x" * 100)
+    assert env.stat().data_bytes == 104
+    with env.begin(write=True) as txn:
+        txn.put(b"key1", b"y" * 50)  # overwrite shrinks
+    assert env.stat().data_bytes == 54
+    with env.begin(write=True) as txn:
+        assert txn.delete(b"key1") is True
+        assert txn.delete(b"nope") is False
+    assert env.stat().data_bytes == 0
+
+
+def test_named_databases_isolated(env):
+    env.open_db("users")
+    env.open_db("orders")
+    with env.begin(write=True) as txn:
+        txn.put(b"k", b"user-data", db="users")
+        txn.put(b"k", b"order-data", db="orders")
+    with env.begin() as r:
+        assert r.get(b"k", db="users") == b"user-data"
+        assert r.get(b"k", db="orders") == b"order-data"
+        assert r.get(b"k") is None  # main untouched
+
+
+def test_sync_mode_counts(env):
+    nosync = Environment(sync_mode=SyncMode.NOSYNC)
+    nosync.open_db("main")
+    with nosync.begin(write=True) as txn:
+        txn.put(b"k", b"v")
+    assert nosync.commits == 1 and nosync.syncs == 0
+    with env.begin(write=True) as txn:  # default SYNC
+        txn.put(b"k", b"v")
+    assert env.syncs == 1
+
+
+def test_cursor_scan_and_seek(env):
+    with env.begin(write=True) as txn:
+        for i in range(20):
+            txn.put(f"{i:03d}".encode(), str(i).encode())
+    with env.begin() as r:
+        cur = r.cursor()
+        assert cur.first() == (b"000", b"0")
+        assert cur.next() == (b"001", b"1")
+        assert cur.seek(b"010") == (b"010", b"10")
+        batch = cur.scan(lo=b"005", limit=3)
+        assert [k for k, _ in batch] == [b"005", b"006", b"007"]
+
+
+def test_cursor_pinned_to_snapshot(env):
+    with env.begin(write=True) as txn:
+        txn.put(b"a", b"1")
+    r = env.begin()
+    cur = r.cursor()
+    with env.begin(write=True) as txn:
+        txn.put(b"b", b"2")
+    assert [k for k, _ in cur.scan()] == [b"a"]
+    r.commit()
+
+
+def test_stat(env):
+    with env.begin(write=True) as txn:
+        for i in range(100):
+            txn.put(f"{i:04d}".encode(), b"v" * 10)
+    s = env.stat()
+    assert s.entries == 100
+    assert s.depth >= 2
+    assert s.max_readers == 4

@@ -1,0 +1,139 @@
+"""Tests for the kernel TCP / IPoIB stack."""
+
+import pytest
+
+from repro.netfab.tcp import TcpError
+from repro.sim.units import us
+from repro.testbed import Testbed
+
+
+def echo_server(tb, port):
+    lst = tb.node(1).tcp.listen(port)
+
+    def server():
+        conn = yield lst.accept()
+        while True:
+            data = yield from conn.recv(1 << 20)
+            if not data:
+                return
+            yield from conn.send(data.upper())
+
+    tb.sim.process(server())
+    return lst
+
+
+def test_connect_send_recv_roundtrip():
+    tb = Testbed(n_nodes=2)
+    echo_server(tb, 9090)
+
+    def client():
+        conn = yield from tb.node(0).tcp.connect(tb.node(1), 9090)
+        yield from conn.send(b"hello world")
+        reply = yield from conn.recv_exact(11)
+        conn.close()
+        return reply
+
+    p = tb.sim.process(client())
+    assert tb.sim.run(p) == b"HELLO WORLD"
+
+
+def test_connect_refused_without_listener():
+    tb = Testbed(n_nodes=2)
+
+    def client():
+        yield from tb.node(0).tcp.connect(tb.node(1), 1234)
+
+    p = tb.sim.process(client())
+    with pytest.raises(TcpError):
+        tb.sim.run(p)
+
+
+def test_large_transfer_segmented_and_intact():
+    tb = Testbed(n_nodes=2)
+    payload = bytes(range(256)) * 2048  # 512 KiB, > MTU
+    lst = tb.node(1).tcp.listen(7)
+    got = {}
+
+    def server():
+        conn = yield lst.accept()
+        got["data"] = yield from conn.recv_exact(len(payload))
+
+    def client():
+        conn = yield from tb.node(0).tcp.connect(tb.node(1), 7)
+        yield from conn.send(payload)
+
+    tb.sim.process(server())
+    tb.sim.process(client())
+    tb.sim.run()
+    assert got["data"] == payload
+
+
+def test_recv_exact_eof_raises():
+    tb = Testbed(n_nodes=2)
+    lst = tb.node(1).tcp.listen(7)
+    outcome = {}
+
+    def server():
+        conn = yield lst.accept()
+        try:
+            yield from conn.recv_exact(100)
+        except TcpError as e:
+            outcome["err"] = str(e)
+
+    def client():
+        conn = yield from tb.node(0).tcp.connect(tb.node(1), 7)
+        yield from conn.send(b"only 13 bytes")
+        yield tb.sim.timeout(1)
+        conn.close()
+
+    tb.sim.process(server())
+    tb.sim.process(client())
+    tb.sim.run()
+    assert "13/100" in outcome["err"]
+
+
+def test_tcp_latency_far_above_rdma_scale():
+    """Small-message RPC over IPoIB should be tens of microseconds."""
+    tb = Testbed(n_nodes=2)
+    echo_server(tb, 9090)
+    out = {}
+
+    def client():
+        conn = yield from tb.node(0).tcp.connect(tb.node(1), 9090)
+        t0 = tb.sim.now
+        yield from conn.send(b"x" * 64)
+        yield from conn.recv_exact(64)
+        out["rtt"] = tb.sim.now - t0
+
+    tb.sim.run(tb.sim.process(client()))
+    assert 15 * us < out["rtt"] < 200 * us
+
+
+def test_double_listen_same_port_rejected():
+    tb = Testbed(n_nodes=2)
+    tb.node(1).tcp.listen(7)
+    with pytest.raises(TcpError):
+        tb.node(1).tcp.listen(7)
+
+
+def test_send_on_closed_connection_raises():
+    tb = Testbed(n_nodes=2)
+    lst = tb.node(1).tcp.listen(7)
+    outcome = {}
+
+    def server():
+        conn = yield lst.accept()
+        conn.close()
+
+    def client():
+        conn = yield from tb.node(0).tcp.connect(tb.node(1), 7)
+        yield tb.sim.timeout(1)
+        try:
+            yield from conn.send(b"data")
+        except TcpError:
+            outcome["raised"] = True
+
+    tb.sim.process(server())
+    tb.sim.process(client())
+    tb.sim.run()
+    assert outcome.get("raised")

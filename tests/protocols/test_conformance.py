@@ -1,0 +1,148 @@
+"""Conformance suite run against every registered protocol.
+
+Each protocol must deliver arbitrary payloads intact, in order, under both
+polling disciplines, from multiple concurrent client connections.
+"""
+
+import pytest
+
+from repro.protocols import ProtoConfig, ProtocolError, protocol_names
+from repro.sim.units import KiB
+from repro.verbs.cq import PollMode
+
+from tests.protocols.conftest import make_pair, reverse_handler
+
+ALL = protocol_names()
+
+
+def test_registry_complete():
+    assert ALL == sorted([
+        # the nine protocols of Fig. 3 + the hybrid baseline...
+        "eager_sendrecv", "direct_write_send", "chained_write_send",
+        "write_rndv", "read_rndv", "direct_writeimm",
+        "pilaf", "farm", "rfp", "hybrid_eager_rndv",
+        # ...plus the YCSB comparator schemes (S5.4)
+        "herd", "hybrid_eager_readrndv",
+    ])
+
+
+@pytest.mark.parametrize("proto", ALL)
+@pytest.mark.parametrize("size", [0, 1, 13, 512, 4096, 64 * KiB])
+def test_echo_roundtrip(tb, proto, size):
+    server, connect = make_pair(tb, proto, ProtoConfig(max_msg=128 * KiB))
+    payload = bytes(i % 251 for i in range(size))
+
+    def client():
+        c = yield from connect()
+        resp = yield from c.call(payload, resp_hint=size)
+        return resp
+
+    p = tb.sim.process(client())
+    assert tb.sim.run(p) == payload
+    tb.sim.run()  # drain trailing acks/FINs so server counters settle
+    assert server.requests == 1
+
+
+@pytest.mark.parametrize("proto", ALL)
+def test_payload_transformed_not_copied_back(tb, proto):
+    """Guards against protocols accidentally echoing the request buffer."""
+    server, connect = make_pair(tb, proto, handler=reverse_handler)
+    payload = b"abcdefgh" * 100
+
+    def client():
+        c = yield from connect()
+        return (yield from c.call(payload, resp_hint=len(payload)))
+
+    p = tb.sim.process(client())
+    assert tb.sim.run(p) == payload[::-1]
+
+
+@pytest.mark.parametrize("proto", ALL)
+def test_sequential_calls_in_order(tb, proto):
+    server, connect = make_pair(tb, proto)
+
+    def client():
+        c = yield from connect()
+        out = []
+        for i in range(10):
+            req = f"request-{i}".encode() * (i + 1)
+            resp = yield from c.call(req, resp_hint=len(req))
+            out.append(resp == req)
+        return out
+
+    p = tb.sim.process(client())
+    assert all(tb.sim.run(p))
+
+
+@pytest.mark.parametrize("proto", ALL)
+def test_event_polling_mode(tb, proto):
+    cfg = ProtoConfig(poll_mode=PollMode.EVENT)
+    server, connect = make_pair(tb, proto, cfg)
+
+    def client():
+        c = yield from connect()
+        return (yield from c.call(b"event-mode", resp_hint=64))
+
+    p = tb.sim.process(client())
+    assert tb.sim.run(p) == b"event-mode"
+
+
+@pytest.mark.parametrize("proto", ALL)
+def test_multiple_concurrent_clients(tb, proto):
+    server, connect = make_pair(tb, proto)
+    results = {}
+
+    def client(i, node):
+        cfg = ProtoConfig()
+        from repro.protocols import get_protocol
+        client_cls, _ = get_protocol(proto)
+        c = client_cls(tb.node(node).nic, cfg)
+        yield from c.connect(tb.node(1), 100)
+        for k in range(3):
+            req = f"c{i}k{k}".encode()
+            resp = yield from c.call(req, resp_hint=16)
+            results[(i, k)] = resp == req
+
+    for i in range(4):
+        tb.sim.process(client(i, node=0 if i % 2 == 0 else 2))
+    tb.sim.run()
+    assert len(results) == 12 and all(results.values())
+    assert server.connections == 4
+    assert server.requests == 12
+
+
+@pytest.mark.parametrize("proto", ALL)
+def test_oversize_request_rejected(tb, proto):
+    cfg = ProtoConfig(max_msg=4 * KiB)
+    server, connect = make_pair(tb, proto, cfg)
+
+    def client():
+        c = yield from connect()
+        yield from c.call(b"x" * (8 * KiB))
+
+    p = tb.sim.process(client())
+    with pytest.raises(ProtocolError):
+        tb.sim.run(p)
+
+
+@pytest.mark.parametrize("proto", ALL)
+def test_generator_handler_with_server_work(tb, proto):
+    """Handlers may be coroutines that consume simulated server CPU time."""
+    work = {"t": 0.0}
+
+    def handler(req):
+        node = tb.node(1)
+        t0 = tb.sim.now
+        yield node.compute(5e-6)
+        work["t"] += tb.sim.now - t0
+        return req + b"!"
+
+    server, connect = make_pair(tb, proto, handler=handler)
+
+    def client():
+        c = yield from connect()
+        return (yield from c.call(b"compute", resp_hint=64))
+
+    p = tb.sim.process(client())
+    assert tb.sim.run(p) == b"compute!"
+    assert work["t"] == pytest.approx(5e-6, rel=1e-6)

@@ -1,0 +1,63 @@
+"""Node/cluster/testbed plumbing tests."""
+
+import pytest
+
+from repro.sim import Cluster, ClusterSpec, NodeSpec, Simulator
+from repro.testbed import Testbed
+
+
+def test_default_spec_matches_paper_testbed():
+    spec = ClusterSpec()
+    assert spec.n_nodes == 10
+    assert spec.node.cores == 28           # Xeon Gold 6132 x2
+    assert spec.node.numa_domains == 2
+    assert spec.node.cores_per_numa == 14
+    assert spec.node.ram_bytes == 192 * 1024**3
+
+
+def test_cluster_indexing():
+    sim = Simulator()
+    c = Cluster(sim, ClusterSpec(n_nodes=3))
+    assert len(c) == 3
+    assert c[0].name == "node0"
+    assert c["node2"] is c[2]
+    assert [n.name for n in c] == ["node0", "node1", "node2"]
+
+
+def test_node_compute_uses_scheduler():
+    sim = Simulator()
+    c = Cluster(sim, ClusterSpec(n_nodes=1, node=NodeSpec(cores=2)))
+    done = {}
+
+    def work():
+        yield c[0].compute(1.0)
+        done["t"] = sim.now
+
+    sim.process(work())
+    sim.run()
+    assert done["t"] == pytest.approx(1.0)
+
+
+def test_testbed_wires_nic_and_tcp():
+    tb = Testbed(n_nodes=4)
+    for node in tb.nodes:
+        assert node.nic is not None
+        assert node.tcp is not None
+        assert tb.fabric.port_of(node) is node.nic.port
+    assert tb.node(0) is tb.cluster[0]
+
+
+def test_testbed_custom_sizes():
+    tb = Testbed(n_nodes=2, node_spec=NodeSpec(cores=4))
+    assert tb.node(0).cpu.cores == 4
+
+
+def test_run_until_helper():
+    tb = Testbed(n_nodes=1)
+
+    def tick():
+        yield tb.sim.timeout(5.0)
+
+    tb.sim.process(tick())
+    tb.run(until=2.0)
+    assert tb.sim.now == 2.0

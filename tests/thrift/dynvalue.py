@@ -1,0 +1,105 @@
+"""Dynamic Thrift value writer/reader used by serialization tests.
+
+Values are represented as (ttype, payload) pairs:
+  (TType.I32, 5), (TType.LIST, (TType.STRING, ["a", "b"])),
+  (TType.MAP, (TType.I32, TType.BOOL, {1: True})),
+  (TType.STRUCT, {fid: (ttype, payload), ...})
+"""
+
+from repro.thrift import TType
+
+
+def write_value(prot, ttype, value):
+    if ttype == TType.BOOL:
+        prot.write_bool(value)
+    elif ttype == TType.BYTE:
+        prot.write_byte(value)
+    elif ttype == TType.I16:
+        prot.write_i16(value)
+    elif ttype == TType.I32:
+        prot.write_i32(value)
+    elif ttype == TType.I64:
+        prot.write_i64(value)
+    elif ttype == TType.DOUBLE:
+        prot.write_double(value)
+    elif ttype == TType.STRING:
+        if isinstance(value, bytes):
+            prot.write_binary(value)
+        else:
+            prot.write_string(value)
+    elif ttype == TType.LIST:
+        etype, items = value
+        prot.write_list_begin(etype, len(items))
+        for item in items:
+            write_value(prot, etype, item)
+        prot.write_list_end()
+    elif ttype == TType.SET:
+        etype, items = value
+        prot.write_set_begin(etype, len(items))
+        for item in items:
+            write_value(prot, etype, item)
+        prot.write_set_end()
+    elif ttype == TType.MAP:
+        ktype, vtype, mapping = value
+        prot.write_map_begin(ktype, vtype, len(mapping))
+        for k, v in mapping.items():
+            write_value(prot, ktype, k)
+            write_value(prot, vtype, v)
+        prot.write_map_end()
+    elif ttype == TType.STRUCT:
+        prot.write_struct_begin("Dyn")
+        for fid, (fttype, fvalue) in value.items():
+            prot.write_field_begin(f"f{fid}", fttype, fid)
+            write_value(prot, fttype, fvalue)
+            prot.write_field_end()
+        prot.write_field_stop()
+        prot.write_struct_end()
+    else:
+        raise AssertionError(f"unsupported ttype {ttype}")
+
+
+def read_value(prot, ttype, binary=False):
+    if ttype == TType.BOOL:
+        return prot.read_bool()
+    if ttype == TType.BYTE:
+        return prot.read_byte()
+    if ttype == TType.I16:
+        return prot.read_i16()
+    if ttype == TType.I32:
+        return prot.read_i32()
+    if ttype == TType.I64:
+        return prot.read_i64()
+    if ttype == TType.DOUBLE:
+        return prot.read_double()
+    if ttype == TType.STRING:
+        return prot.read_binary() if binary else prot.read_string()
+    if ttype == TType.LIST:
+        etype, size = prot.read_list_begin()
+        items = [read_value(prot, etype, binary) for _ in range(size)]
+        prot.read_list_end()
+        return etype, items
+    if ttype == TType.SET:
+        etype, size = prot.read_set_begin()
+        items = [read_value(prot, etype, binary) for _ in range(size)]
+        prot.read_set_end()
+        return etype, items
+    if ttype == TType.MAP:
+        ktype, vtype, size = prot.read_map_begin()
+        mapping = {}
+        for _ in range(size):
+            k = read_value(prot, ktype, binary)
+            mapping[k] = read_value(prot, vtype, binary)
+        prot.read_map_end()
+        return ktype, vtype, mapping
+    if ttype == TType.STRUCT:
+        out = {}
+        prot.read_struct_begin()
+        while True:
+            _name, fttype, fid = prot.read_field_begin()
+            if fttype == TType.STOP:
+                break
+            out[fid] = (fttype, read_value(prot, fttype, binary))
+            prot.read_field_end()
+        prot.read_struct_end()
+        return out
+    raise AssertionError(f"unsupported ttype {ttype}")

@@ -1,0 +1,106 @@
+"""Distributed executor: fragment/final equivalence + RPC-mode effects."""
+
+import numpy as np
+import pytest
+
+from repro.tpch.datagen import generate
+from repro.tpch.distributed import DistributedTpch
+from repro.tpch.fragments import PLANS
+from repro.tpch.queries import run_query
+from repro.tpch.ser import deserialize_table, serialize_table
+from repro.tpch.table import Table
+
+
+def tables_equal(a: Table, b: Table, float_tol=1e-6) -> bool:
+    if set(a.names) != set(b.names) or len(a) != len(b):
+        return False
+    for name in a.names:
+        ca, cb = a[name], b[name]
+        if ca.dtype.kind == "f" or cb.dtype.kind == "f":
+            if not np.allclose(ca.astype(float), cb.astype(float),
+                               rtol=float_tol, atol=1e-9):
+                return False
+        else:
+            if ca.tolist() != cb.tolist():
+                return False
+    return True
+
+
+def test_serialize_roundtrip():
+    t = Table({"a": np.asarray([1, 2, 3], dtype=np.int64),
+               "b": np.asarray([1.5, -2.5, 0.0]),
+               "c": np.asarray(["x", "y", "unicode ✓"], dtype=object)})
+    out = deserialize_table(serialize_table(t))
+    assert tables_equal(t, out)
+
+
+def test_serialize_empty():
+    t = Table({"a": np.zeros(0, dtype=np.int64)})
+    out = deserialize_table(serialize_table(t))
+    assert len(out) == 0 and out.names == ["a"]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db = generate(sf=0.003, seed=3)
+    # Partition exactly as the executor does.
+    W = 4
+    o, li = db["orders"], db["lineitem"]
+    dims = {t: db[t] for t in ("region", "nation", "supplier", "customer",
+                               "part", "partsupp")}
+    parts = []
+    for w in range(W):
+        p = dict(dims)
+        p["orders"] = o.filter(o["o_orderkey"] % W == w)
+        p["lineitem"] = li.filter(li["l_orderkey"] % W == w)
+        parts.append(p)
+    return db, parts
+
+
+@pytest.mark.parametrize("qn", sorted(PLANS))
+def test_fragment_final_equals_single_node(setup, qn):
+    """The distributed plan must compute exactly the single-node answer."""
+    db, parts = setup
+    plan = PLANS[qn]
+    partials = [plan.fragment(p) for p in parts]
+    # Simulate the serialize/merge path (includes the wire roundtrip).
+    partials = [deserialize_table(serialize_table(t)) for t in partials]
+    non_empty = [t for t in partials if len(t) > 0]
+    merged = non_empty[0] if non_empty else partials[0]
+    for t in non_empty[1:]:
+        merged = merged.concat(t)
+    distributed = plan.final(merged, db)
+    single = run_query(db, qn)
+    assert tables_equal(distributed, single), f"Q{qn} diverged"
+
+
+def test_executor_end_to_end_matches_single_node():
+    ex = DistributedTpch(mode="hatrpc_function", sf=0.002, n_workers=3,
+                         seed=5).start()
+    single_db = ex.db
+    for qn in (1, 4, 6, 13):
+        r = ex.run_query(qn)
+        assert tables_equal(r.result, run_query(single_db, qn)), qn
+        assert r.elapsed > 0
+        assert r.exchange_bytes > 0
+
+
+def test_ipoib_slower_than_hatrpc():
+    times = {}
+    for mode in ("ipoib", "hatrpc_function"):
+        ex = DistributedTpch(mode=mode, sf=0.002, n_workers=3, seed=5).start()
+        times[mode] = sum(ex.run_query(q).elapsed for q in (1, 6, 9, 13))
+    assert times["hatrpc_function"] < times["ipoib"]
+
+
+def test_bad_mode_rejected():
+    with pytest.raises(ValueError):
+        DistributedTpch(mode="carrier_pigeon")
+
+
+def test_chunked_transfer_for_large_partials():
+    """Q9 partials exceed one chunk at a larger SF; bytes must reassemble."""
+    ex = DistributedTpch(mode="hatrpc_service", sf=0.01, n_workers=2,
+                         seed=2).start()
+    r = ex.run_query(9)
+    assert tables_equal(r.result, run_query(ex.db, 9))

@@ -1,0 +1,52 @@
+"""Shared fixtures for verbs tests: a two-node testbed with a connected QP pair."""
+
+import pytest
+
+from repro.testbed import Testbed
+from repro.verbs import RecvWR, Sge
+from repro.verbs.qp import connect_pair
+
+
+@pytest.fixture
+def tb():
+    return Testbed(n_nodes=2)
+
+
+class Pair:
+    """A connected client/server QP pair with one CQ each side."""
+
+    def __init__(self, tb, srq=False):
+        self.tb = tb
+        self.cdev = tb.node(0).nic
+        self.sdev = tb.node(1).nic
+        self.cpd = self.cdev.alloc_pd()
+        self.spd = self.sdev.alloc_pd()
+        self.c_scq = self.cdev.create_cq()
+        self.c_rcq = self.cdev.create_cq()
+        self.s_scq = self.sdev.create_cq()
+        self.s_rcq = self.sdev.create_cq()
+        self.srq = self.sdev.create_srq() if srq else None
+        self.cqp = self.cdev.create_qp(self.cpd, self.c_scq, self.c_rcq)
+        self.sqp = self.sdev.create_qp(self.spd, self.s_scq, self.s_rcq,
+                                       srq=self.srq)
+        connect_pair(self.cqp, self.sqp)
+
+    def server_recv_buf(self, size):
+        """Register and post one recv buffer server-side; returns the MR."""
+        mr = self.spd.reg_mr(size)
+
+        def post():
+            yield from self.sqp.post_recv(RecvWR(Sge(mr.addr, size, mr.lkey)))
+
+        self.tb.sim.run(self.tb.sim.process(post()))
+        return mr
+
+
+@pytest.fixture
+def pair(tb):
+    return Pair(tb)
+
+
+@pytest.fixture
+def srq_pair(tb):
+    return Pair(tb, srq=True)

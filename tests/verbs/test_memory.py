@@ -1,0 +1,58 @@
+"""Tests for the per-node memory model."""
+
+import pytest
+
+from repro.verbs import Memory, MemoryAccessError
+
+
+def test_alloc_distinct_regions():
+    mem = Memory()
+    a = mem.alloc(100)
+    b = mem.alloc(100)
+    assert a != b
+    mem.write(a, b"A" * 100)
+    mem.write(b, b"B" * 100)
+    assert mem.read(a, 100) == b"A" * 100
+    assert mem.read(b, 100) == b"B" * 100
+
+
+def test_address_zero_never_allocated():
+    mem = Memory()
+    assert mem.alloc(16) != 0
+
+
+def test_auto_grow_beyond_initial():
+    mem = Memory(initial=1024)
+    addr = mem.alloc(1 << 20)
+    mem.write(addr + (1 << 20) - 4, b"tail")
+    assert mem.read(addr + (1 << 20) - 4, 4) == b"tail"
+
+
+def test_out_of_bounds_read_rejected():
+    mem = Memory()
+    addr = mem.alloc(64)
+    with pytest.raises(MemoryAccessError):
+        mem.read(addr + 1 << 22, 10)
+
+
+def test_zero_alloc_rejected():
+    with pytest.raises(ValueError):
+        Memory().alloc(0)
+
+
+def test_free_accounting():
+    mem = Memory()
+    a = mem.alloc(100)
+    mem.alloc(50)
+    assert mem.live_bytes == 150
+    mem.free(a)
+    assert mem.live_bytes == 50
+    with pytest.raises(MemoryAccessError):
+        mem.free(a)
+
+
+def test_fill():
+    mem = Memory()
+    a = mem.alloc(10)
+    mem.fill(a, 10, 0xAB)
+    assert mem.read(a, 10) == b"\xab" * 10

@@ -1,0 +1,323 @@
+"""Datapath tests: SEND/RECV, RDMA WRITE/READ, WRITE_WITH_IMM, chaining, errors."""
+
+import pytest
+
+from repro.sim.units import us
+from repro.verbs import (
+    Opcode,
+    QPState,
+    QPStateError,
+    RecvWR,
+    SendWR,
+    Sge,
+    WCOpcode,
+    WCStatus,
+)
+from repro.verbs.qp import connect_pair
+
+
+def run(tb, gen):
+    return tb.sim.run(tb.sim.process(gen))
+
+
+def test_send_recv_delivers_payload(tb, pair):
+    rmr = pair.server_recv_buf(256)
+    smr = pair.cpd.reg_mr(256)
+    smr.write(b"ping" * 8)
+
+    def client():
+        yield from pair.cqp.post_send(
+            SendWR(Opcode.SEND, Sge(smr.addr, 32, smr.lkey), wr_id=7))
+        wcs = yield from pair.c_scq.wait_busy()
+        return wcs
+
+    def server():
+        wcs = yield from pair.s_rcq.wait_busy()
+        return wcs
+
+    sp = tb.sim.process(server())
+    cwcs = run(tb, client())
+    swcs = tb.sim.run(sp)
+    assert cwcs[0].ok and cwcs[0].opcode is WCOpcode.SEND and cwcs[0].wr_id == 7
+    assert swcs[0].ok and swcs[0].opcode is WCOpcode.RECV
+    assert swcs[0].byte_len == 32
+    assert rmr.read(32) == b"ping" * 8
+
+
+def test_small_send_latency_in_microsecond_range(tb, pair):
+    pair.server_recv_buf(256)
+    smr = pair.cpd.reg_mr(64)
+
+    def client():
+        t0 = tb.sim.now
+        yield from pair.cqp.post_send(
+            SendWR(Opcode.SEND, Sge(smr.addr, 64, smr.lkey)))
+        yield from pair.c_scq.wait_busy()
+        return tb.sim.now - t0
+
+    elapsed = run(tb, client())
+    # One-way delivery + ack: a few microseconds on EDR.
+    assert 1 * us < elapsed < 10 * us
+
+
+def test_rdma_write_no_remote_completion(tb, pair):
+    rmr = pair.spd.reg_mr(128)
+    smr = pair.cpd.reg_mr(128)
+    smr.write(b"W" * 128)
+
+    def client():
+        yield from pair.cqp.post_send(SendWR(
+            Opcode.RDMA_WRITE, Sge(smr.addr, 128, smr.lkey),
+            remote_addr=rmr.addr, rkey=rmr.rkey))
+        wcs = yield from pair.c_scq.wait_busy()
+        return wcs
+
+    wcs = run(tb, client())
+    assert wcs[0].ok and wcs[0].opcode is WCOpcode.RDMA_WRITE
+    assert rmr.read(128) == b"W" * 128
+    assert len(pair.s_rcq) == 0  # one-sided: server saw nothing
+
+
+def test_write_with_imm_consumes_recv_and_carries_imm(tb, pair):
+    rmr = pair.spd.reg_mr(128)
+    pair.server_recv_buf(0x40)  # WQE present; its buffer is unused for IMM
+    smr = pair.cpd.reg_mr(128)
+    smr.write(b"I" * 100)
+
+    def client():
+        yield from pair.cqp.post_send(SendWR(
+            Opcode.RDMA_WRITE_WITH_IMM, Sge(smr.addr, 100, smr.lkey),
+            remote_addr=rmr.addr, rkey=rmr.rkey, imm=0xBEEF))
+        yield from pair.c_scq.wait_busy()
+
+    def server():
+        wcs = yield from pair.s_rcq.wait_busy()
+        return wcs
+
+    sp = tb.sim.process(server())
+    run(tb, client())
+    wcs = tb.sim.run(sp)
+    assert wcs[0].opcode is WCOpcode.RECV_RDMA_WITH_IMM
+    assert wcs[0].imm == 0xBEEF
+    assert wcs[0].byte_len == 100
+    assert wcs[0].addr == rmr.addr
+    assert rmr.read(100) == b"I" * 100
+
+
+def test_rdma_read_fetches_remote_payload(tb, pair):
+    rmr = pair.spd.reg_mr(4096)
+    rmr.write(b"R" * 4096)
+    lmr = pair.cpd.reg_mr(4096)
+
+    def client():
+        yield from pair.cqp.post_send(SendWR(
+            Opcode.RDMA_READ, Sge(lmr.addr, 4096, lmr.lkey),
+            remote_addr=rmr.addr, rkey=rmr.rkey))
+        wcs = yield from pair.c_scq.wait_busy()
+        return wcs
+
+    wcs = run(tb, client())
+    assert wcs[0].ok and wcs[0].opcode is WCOpcode.RDMA_READ
+    assert lmr.read(4096) == b"R" * 4096
+
+
+def test_chained_wrs_single_doorbell(tb, pair):
+    rmr = pair.spd.reg_mr(1024)
+    pair.server_recv_buf(64)
+    smr = pair.cpd.reg_mr(1024)
+    smr.write(b"C" * 1024)
+    before = pair.cdev.doorbells
+
+    def client():
+        notify = SendWR(Opcode.SEND, Sge(smr.addr, 16, smr.lkey), wr_id=2)
+        write = SendWR(Opcode.RDMA_WRITE, Sge(smr.addr, 512, smr.lkey),
+                       remote_addr=rmr.addr, rkey=rmr.rkey, wr_id=1,
+                       signaled=False, next=notify)
+        yield from pair.cqp.post_send(write)
+        wcs = yield from pair.c_scq.wait_busy()
+        return wcs
+
+    wcs = run(tb, client())
+    assert pair.cdev.doorbells == before + 1
+    assert pair.cdev.wrs_posted == 2
+    # Only the signaled (second) WR completed.
+    assert [w.wr_id for w in wcs] == [2]
+    assert rmr.read(512) == b"C" * 512
+
+
+def test_chain_preserves_order_write_before_notify(tb, pair):
+    """The notify SEND must arrive after the chained WRITE's data is visible."""
+    rmr = pair.spd.reg_mr(1024)
+    pair.server_recv_buf(64)
+    smr = pair.cpd.reg_mr(1024)
+    smr.write(b"D" * 1024)
+
+    def client():
+        notify = SendWR(Opcode.SEND, Sge(smr.addr, 8, smr.lkey))
+        write = SendWR(Opcode.RDMA_WRITE, Sge(smr.addr, 1024, smr.lkey),
+                       remote_addr=rmr.addr, rkey=rmr.rkey,
+                       signaled=False, next=notify)
+        yield from pair.cqp.post_send(write)
+
+    def server():
+        yield from pair.s_rcq.wait_busy()
+        return rmr.read(1024)  # read at the moment the notify lands
+
+    sp = tb.sim.process(server())
+    run(tb, client())
+    assert tb.sim.run(sp) == b"D" * 1024
+
+
+def test_post_send_requires_rts(tb, pair):
+    qp = pair.cdev.create_qp(pair.cpd, pair.c_scq, pair.c_rcq)
+    smr = pair.cpd.reg_mr(64)
+
+    def client():
+        yield from qp.post_send(SendWR(Opcode.SEND, Sge(smr.addr, 8, smr.lkey)))
+
+    p = tb.sim.process(client())
+    with pytest.raises(QPStateError):
+        tb.sim.run(p)
+
+
+def test_bad_rkey_errors_both_qps(tb, pair):
+    smr = pair.cpd.reg_mr(64)
+
+    def client():
+        yield from pair.cqp.post_send(SendWR(
+            Opcode.RDMA_WRITE, Sge(smr.addr, 64, smr.lkey),
+            remote_addr=0x40, rkey=0xDEAD))
+        wcs = yield from pair.c_scq.wait_busy()
+        return wcs
+
+    wcs = run(tb, client())
+    assert wcs[0].status is WCStatus.REM_ACCESS_ERR
+    assert pair.cqp.state is QPState.ERROR
+    assert pair.sqp.state is QPState.ERROR
+
+
+def test_rnr_retry_succeeds_after_late_post_recv(tb, pair):
+    smr = pair.cpd.reg_mr(64)
+    rmr = pair.spd.reg_mr(64)
+
+    def client():
+        yield from pair.cqp.post_send(
+            SendWR(Opcode.SEND, Sge(smr.addr, 16, smr.lkey)))
+        wcs = yield from pair.c_scq.wait_busy()
+        return wcs
+
+    def late_server():
+        yield tb.sim.timeout(30 * us)  # a few RNR timer periods
+        yield from pair.sqp.post_recv(RecvWR(Sge(rmr.addr, 64, rmr.lkey)))
+
+    tb.sim.process(late_server())
+    wcs = run(tb, client())
+    assert wcs[0].ok
+
+
+def test_rnr_retries_exhausted_is_error(tb, pair):
+    smr = pair.cpd.reg_mr(64)
+
+    def client():
+        yield from pair.cqp.post_send(
+            SendWR(Opcode.SEND, Sge(smr.addr, 16, smr.lkey)))
+        wcs = yield from pair.c_scq.wait_busy()
+        return wcs
+
+    wcs = run(tb, client())
+    assert wcs[0].status is WCStatus.RNR_RETRY_EXC_ERR
+    assert pair.cqp.state is QPState.ERROR
+
+
+def test_send_larger_than_recv_buffer_loc_len_err(tb, pair):
+    pair.server_recv_buf(16)
+    smr = pair.cpd.reg_mr(256)
+
+    def client():
+        yield from pair.cqp.post_send(
+            SendWR(Opcode.SEND, Sge(smr.addr, 256, smr.lkey)))
+        wcs = yield from pair.c_scq.wait_busy()
+        return wcs
+
+    def server():
+        wcs = yield from pair.s_rcq.wait_busy()
+        return wcs
+
+    sp = tb.sim.process(server())
+    cwcs = run(tb, client())
+    swcs = tb.sim.run(sp)
+    assert swcs[0].status is WCStatus.LOC_LEN_ERR
+    assert cwcs[0].status is WCStatus.REM_ACCESS_ERR
+
+
+def test_qp_error_flushes_pending_recvs(tb, pair):
+    pair.server_recv_buf(64)
+    pair.server_recv_buf(64)
+    pair.sqp.to_error()
+    wcs = pair.s_rcq.poll()
+    assert len(wcs) == 2
+    assert all(w.status is WCStatus.WR_FLUSH_ERR for w in wcs)
+
+
+def test_srq_shared_between_qps(tb, srq_pair):
+    p = srq_pair
+    bufs = [p.spd.reg_mr(64) for _ in range(2)]
+
+    def setup():
+        for mr in bufs:
+            yield from p.srq.post_recv(RecvWR(Sge(mr.addr, 64, mr.lkey)))
+
+    run(tb, setup())
+    smr = p.cpd.reg_mr(64)
+    smr.write(b"S" * 64)
+
+    def client():
+        for _ in range(2):
+            yield from p.cqp.post_send(
+                SendWR(Opcode.SEND, Sge(smr.addr, 64, smr.lkey)))
+            yield from p.c_scq.wait_busy()
+
+    run(tb, client())
+    assert len(p.srq) == 0
+    assert len(p.s_rcq.poll(8)) == 2
+
+
+def test_post_recv_on_srq_qp_rejected(tb, srq_pair):
+    mr = srq_pair.spd.reg_mr(64)
+
+    def post():
+        yield from srq_pair.sqp.post_recv(RecvWR(Sge(mr.addr, 64, mr.lkey)))
+
+    p = tb.sim.process(post())
+    with pytest.raises(Exception):
+        tb.sim.run(p)
+
+
+def test_registered_bytes_accounting(tb, pair):
+    before = pair.cdev.registered_bytes
+    mr = pair.cpd.reg_mr(4096)
+    assert pair.cdev.registered_bytes == before + 4096
+    mr.deregister()
+    assert pair.cdev.registered_bytes == before
+
+
+def test_event_polling_slower_than_busy_but_wakes(tb, pair):
+    pair.server_recv_buf(64)
+    smr = pair.cpd.reg_mr(64)
+    lat = {}
+
+    def bench(mode_name, waiter):
+        def client():
+            t0 = tb.sim.now
+            yield from pair.cqp.post_send(
+                SendWR(Opcode.SEND, Sge(smr.addr, 8, smr.lkey)))
+            yield from waiter()
+            lat[mode_name] = tb.sim.now - t0
+        return client
+
+    run(tb, bench("busy", pair.c_scq.wait_busy)())
+    pair.server_recv_buf(64)
+    run(tb, bench("event", pair.c_scq.wait_event)())
+    assert lat["event"] > lat["busy"]
+    # Event polling pays roughly the interrupt latency extra.
+    assert lat["event"] - lat["busy"] > 2 * us

@@ -1,0 +1,130 @@
+"""Workload geometry and full YCSB runs over HatKV + comparators."""
+
+import pytest
+
+from repro.emul import SYSTEMS, start_system
+from repro.testbed import Testbed
+from repro.ycsb import OpType, WORKLOAD_A, WORKLOAD_B, Workload, run_ycsb
+from repro.ycsb.workload import BATCH_SIZE, FIELD_COUNT, FIELD_LENGTH, KEY_LENGTH
+
+
+def test_workload_geometry():
+    wl = Workload(WORKLOAD_A, seed=1)
+    key = wl.key_of(7)
+    assert len(key) == KEY_LENGTH == 24
+    assert key.startswith(b"user") and key.endswith(b"7")
+    assert len(wl.value()) == FIELD_COUNT * FIELD_LENGTH == 1000
+
+
+def test_load_items_cover_keyspace():
+    wl = Workload(WORKLOAD_A, seed=1)
+    items = list(wl.load_items())
+    assert len(items) == WORKLOAD_A.record_count
+    assert len({k for k, _ in items}) == WORKLOAD_A.record_count
+
+
+def test_mix_proportions_workload_a():
+    wl = Workload(WORKLOAD_A, seed=2)
+    from collections import Counter
+    counts = Counter(wl.next_op()[0] for _ in range(4000))
+    for op, _w in WORKLOAD_A.mix:
+        assert 0.2 < counts[op] / 4000 < 0.3, op
+
+
+def test_mix_proportions_workload_b():
+    wl = Workload(WORKLOAD_B, seed=2)
+    from collections import Counter
+    counts = Counter(wl.next_op()[0] for _ in range(4000))
+    assert counts[OpType.GET] / 4000 > 0.4
+    assert counts[OpType.PUT] / 4000 < 0.07
+    assert counts[OpType.MULTI_GET] / 4000 > 0.4
+
+
+def test_multi_ops_batched():
+    wl = Workload(WORKLOAD_A, seed=3)
+    for _ in range(100):
+        op, args = wl.next_op()
+        if op is OpType.MULTI_GET:
+            assert len(args[0]) == BATCH_SIZE
+        elif op is OpType.MULTI_PUT:
+            keys, values = args
+            assert len(keys) == len(values) == BATCH_SIZE
+            assert all(len(v) == 1000 for v in values)
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_ycsb_runs_on_every_system(system):
+    tb = Testbed(n_nodes=5)
+    server, connect = start_system(tb, system, n_clients=4)
+    result = run_ycsb(server, connect, WORKLOAD_A, testbed=tb, n_clients=4,
+                      ops_per_client=6, warmup_per_client=1)
+    assert result.total_ops == 4 * 6
+    assert result.throughput_ops > 0
+
+
+def test_hatkv_function_beats_comparators_workload_b():
+    """The headline Fig. 16 ordering at reduced scale.
+
+    Run past the under-subscription threshold (the paper uses 128 clients):
+    below it every candidate busy-polls and the orderings blur.
+    """
+    results = {}
+    for system in ("hatkv_function", "herd", "rfp"):
+        tb = Testbed(n_nodes=5)
+        server, connect = start_system(tb, system, n_clients=24)
+        results[system] = run_ycsb(server, connect, WORKLOAD_B, testbed=tb,
+                                   n_clients=24, ops_per_client=10,
+                                   warmup_per_client=2).throughput_ops
+    assert results["hatkv_function"] > results["rfp"]
+    assert results["hatkv_function"] > results["herd"]
+
+
+def test_ycsb_deterministic():
+    def once():
+        tb = Testbed(n_nodes=5)
+        server, connect = start_system(tb, "hatkv_service", n_clients=4)
+        return run_ycsb(server, connect, WORKLOAD_A, testbed=tb, n_clients=4,
+                        ops_per_client=5, warmup_per_client=1).throughput_ops
+    assert once() == once()
+
+
+def test_extended_workloads_cde():
+    """Library extension: the remaining standard YCSB mixes."""
+    from repro.ycsb import WORKLOAD_C, WORKLOAD_D, WORKLOAD_E
+    from collections import Counter
+    wl_c = Workload(WORKLOAD_C, seed=1)
+    c = Counter(wl_c.next_op()[0] for _ in range(1000))
+    assert set(c) == {OpType.GET, OpType.MULTI_GET}
+    wl_d = Workload(WORKLOAD_D, seed=1)
+    d = Counter(wl_d.next_op()[0] for _ in range(1000))
+    assert d[OpType.INSERT] > 0 and d[OpType.GET] > d[OpType.INSERT]
+    wl_e = Workload(WORKLOAD_E, seed=1)
+    e = Counter(wl_e.next_op()[0] for _ in range(1000))
+    assert e[OpType.SCAN] > 800
+
+
+def test_insert_keys_disjoint_per_client():
+    from repro.ycsb import WORKLOAD_D
+    a = Workload(WORKLOAD_D, seed=1, insert_start=10_000)
+    b = Workload(WORKLOAD_D, seed=2, insert_start=20_000)
+    keys_a = set()
+    keys_b = set()
+    for _ in range(500):
+        op, args = a.next_op()
+        if op is OpType.INSERT:
+            keys_a.add(args[0])
+        op, args = b.next_op()
+        if op is OpType.INSERT:
+            keys_b.add(args[0])
+    assert keys_a and keys_b and not (keys_a & keys_b)
+
+
+def test_scan_workload_end_to_end():
+    """Workload E drives LMDB cursors through the full RPC stack."""
+    from repro.ycsb import WORKLOAD_E
+    tb = Testbed(n_nodes=5)
+    server, connect = start_system(tb, "hatkv_function", n_clients=4)
+    r = run_ycsb(server, connect, WORKLOAD_E, testbed=tb, n_clients=4,
+                 ops_per_client=8, warmup_per_client=1)
+    assert r.total_ops == 32
+    assert r.per_op[OpType.SCAN].count > 0
