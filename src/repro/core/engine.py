@@ -18,15 +18,21 @@ polling discipline and NUMA binding from its own lateral hints.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.hints import ResolvedHints, resolve_hints
+from repro.core.resilience import CircuitBreaker, RetryPolicy
 from repro.core.selector import (SMALL_MESSAGE_THRESHOLD, ProtocolChoice,
                                  select_protocol)
-from repro.protocols import ProtoConfig, get_protocol
+from repro.core.tracing import FaultCounters
+from repro.protocols import ProtoConfig, ProtocolError, get_protocol
 from repro.sim.units import KiB
+from repro.thrift.errors import (TTransportException,
+                                 transport_exception_from_wc)
 from repro.verbs.cq import PollMode
+from repro.verbs.errors import QPStateError, WCError
 
 __all__ = ["ChannelPlan", "FunctionRoute", "HatRpcEngine", "ServicePlan",
            "build_service_plan", "pinned_plan"]
@@ -184,6 +190,12 @@ def pinned_plan(service: str, function_names: Sequence[str], protocol: str,
     return ServicePlan(service=service, channels=(channel,), routes=routes)
 
 
+#: exceptions that mean "this channel's transport failed" (as opposed to
+#: application errors, which ride inside successful responses)
+_CHANNEL_ERRORS = (WCError, QPStateError, ProtocolError, ConnectionError,
+                   TTransportException)
+
+
 class HatRpcEngine:
     """Client-side engine: one protocol/TCP connection per channel plan.
 
@@ -191,17 +203,53 @@ class HatRpcEngine:
     polling); the per-call dynamic hint path is just the function -> route
     lookup, mirroring the paper's "only pass the pointer and cache the RPC
     function type" minimization.
+
+    Failure handling (all deterministic under a seeded ``rng``):
+
+    * **deadline** -- an optional total per-call time budget; expiry raises
+      ``TTransportException(TIMED_OUT)`` and discards the in-flight channel
+      so the next call reconnects cleanly;
+    * **retry** -- transport errors are retried under ``retry_policy``
+      (capped exponential backoff + jitter), but only while the request has
+      provably not reached the wire, or when the function is registered
+      idempotent (``mark_idempotent``) -- non-idempotent writes are never
+      blind-retried;
+    * **breaker + failover** -- each channel has a
+      :class:`~repro.core.resilience.CircuitBreaker`; while a channel's
+      breaker is open, calls degrade onto the best surviving channel of the
+      same plan (two-sided eager first, then other RDMA, then TCP) and fail
+      back automatically once the primary's breaker re-admits traffic.
+
+    Every decision lands in :attr:`faults` (counters) and
+    :attr:`fault_trace` (an ordered, replayable list of
+    ``(sim_time, kind, function, channel, detail)`` tuples).
     """
 
     def __init__(self, node, plan: ServicePlan,
-                 base_service_id: int = 5000):
+                 base_service_id: int = 5000,
+                 deadline: Optional[float] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 idempotent: Sequence[str] = (),
+                 rng: Optional[random.Random] = None):
         self.node = node
         self.plan = plan
         self.base_service_id = base_service_id
+        self.deadline = deadline
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.rng = rng or random.Random(0)
+        self.idempotent_fns = set(idempotent)
+        self.faults = FaultCounters()
+        self.fault_trace: List[Tuple[float, str, str, int, str]] = []
         self._channels: Dict[int, Any] = {}
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._failover_order: Dict[int, List[int]] = {}
+        self._last_channel: Dict[int, int] = {}   # primary idx -> last used
+        self._sent_seqids: set = set()
         self._connected = False
+        self._closed = False
         self.calls_routed = 0
 
+    # -- lifecycle -----------------------------------------------------------
     def connect(self, remote_node, eager: bool = False):
         """Coroutine: bind to the server; channels open lazily on first use.
 
@@ -210,14 +258,41 @@ class HatRpcEngine:
         exercises -- opening them eagerly would pin server-side polling
         threads for nothing.  Pass ``eager=True`` to pre-open everything
         (connection-setup-sensitive tests).
+
+        A connect-phase failure leaves the engine cleanly closed: any
+        channels already opened are torn down and ``is_open()`` is False --
+        never a half-open engine holding dangling QPs.
         """
         self._remote_node = remote_node
         self._connected = True
+        self._closed = False
         if eager:
-            for ch in self.plan.channels:
-                yield from self._open_channel(ch)
+            try:
+                for ch in self.plan.channels:
+                    yield from self._open_channel(ch)
+            except BaseException:
+                self.close()
+                raise
         return self
 
+    def is_open(self) -> bool:
+        return self._connected
+
+    def close(self) -> None:
+        """Tear down every channel.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._connected = False
+        for chan in self._channels.values():
+            chan.close()
+        self._channels.clear()
+
+    def mark_idempotent(self, *fn_names: str) -> None:
+        """Register functions that are safe to re-send after a failure."""
+        self.idempotent_fns.update(fn_names)
+
+    # -- channels ------------------------------------------------------------
     def _open_channel(self, ch):
         from repro.core.runtime import RdmaChannel, TcpChannel  # cycle-free
         sid = self.base_service_id + ch.index
@@ -230,22 +305,185 @@ class HatRpcEngine:
         self._channels[ch.index] = chan
         return chan
 
-    def call(self, fn_name: str, message: bytes, oneway: bool = False):
-        """Coroutine: route one serialized message; returns response bytes."""
+    def _breaker(self, idx: int) -> CircuitBreaker:
+        br = self._breakers.get(idx)
+        if br is None:
+            def opened(_br, _idx=idx):
+                self.faults.breaker_opens += 1
+                self._trace("breaker_open", "", _idx)
+            br = CircuitBreaker(self.node.sim, on_open=opened)
+            self._breakers[idx] = br
+        return br
+
+    def _candidates(self, primary: int) -> List[int]:
+        """Failover order for a primary channel: primary first, then
+        two-sided eager channels, then other RDMA, then TCP."""
+        order = self._failover_order.get(primary)
+        if order is None:
+            def rank(ch: ChannelPlan) -> tuple:
+                if ch.index == primary:
+                    tier = 0
+                elif ch.transport == "rdma" and ch.protocol == "eager_sendrecv":
+                    tier = 1
+                elif ch.transport == "rdma":
+                    tier = 2
+                else:
+                    tier = 3
+                return (tier, ch.index)
+            order = [ch.index for ch in sorted(self.plan.channels, key=rank)]
+            self._failover_order[primary] = order
+        return order
+
+    def _discard_channel(self, idx: int) -> None:
+        chan = self._channels.pop(idx, None)
+        if chan is not None:
+            chan.close()
+            self.faults.reconnects += 1
+
+    def _trace(self, kind: str, fn: str, channel: int, detail: str = ""
+               ) -> None:
+        self.fault_trace.append((self.node.sim.now, kind, fn, channel,
+                                 detail))
+
+    # -- the call path -------------------------------------------------------
+    def call(self, fn_name: str, message: bytes, oneway: bool = False,
+             seqid: Optional[int] = None,
+             deadline: Optional[float] = None):
+        """Coroutine: route one serialized message; returns response bytes.
+
+        ``seqid`` (from the Thrift message header) gates idempotency: a
+        non-idempotent (fn, seqid) pair is sent onto the wire at most once,
+        ever -- retrying it requires the application to re-issue the call
+        under a fresh seqid.  ``deadline`` overrides the engine default for
+        this call.
+        """
         if not self._connected:
             raise RuntimeError("engine not connected")
         route = self.plan.routes.get(fn_name)
         if route is None:
             raise KeyError(f"function {fn_name!r} not in service plan "
                            f"for {self.plan.service!r}")
-        chan = self._channels.get(route.channel)
-        if chan is None:
-            chan = yield from self._open_channel(
-                self.plan.channels[route.channel])
-        self.calls_routed += 1
-        return (yield from chan.call(message, resp_hint=route.resp_hint,
-                                     oneway=oneway))
+        budget = deadline if deadline is not None else self.deadline
+        if budget is None:
+            return (yield from self._call_with_recovery(
+                fn_name, route, message, oneway, seqid))
+        sim = self.node.sim
+        attempt = sim.process(
+            self._call_with_recovery(fn_name, route, message, oneway, seqid),
+            name=f"call-{fn_name}")
+        expiry = sim.timeout(budget)
+        try:
+            yield sim.any_of([attempt, expiry])
+        except Exception:
+            pass  # the attempt failed before the deadline; inspected below
+        if attempt.triggered:
+            return attempt.value       # re-raises the failure if there was one
+        # Deadline expired with the attempt still in flight: cancel it and
+        # discard whatever channel it was using -- its wire state is unknown.
+        attempt.defuse()
+        attempt.interrupt("deadline")
+        self.faults.timeouts += 1
+        self._trace("timeout", fn_name, route.channel, f"budget={budget}")
+        self._discard_channel(self._last_channel.get(route.channel,
+                                                     route.channel))
+        raise TTransportException(
+            TTransportException.TIMED_OUT,
+            f"{fn_name} exceeded its {budget * 1e6:.0f}us deadline")
 
-    def close(self) -> None:
-        for chan in self._channels.values():
-            chan.close()
+    def _call_with_recovery(self, fn_name: str, route: FunctionRoute,
+                            message: bytes, oneway: bool,
+                            seqid: Optional[int]):
+        policy = self.retry_policy
+        idempotent = fn_name in self.idempotent_fns
+        call_key = (fn_name, seqid)
+        if not idempotent and seqid is not None and \
+                call_key in self._sent_seqids:
+            # The seqid gate: this exact message already reached the wire
+            # once; re-sending it could double-apply a write.
+            self.faults.blind_retries_prevented += 1
+            self._trace("blind_retry_prevented", fn_name, route.channel,
+                        f"seqid={seqid}")
+            raise TTransportException(
+                TTransportException.UNKNOWN,
+                f"refusing to re-send non-idempotent {fn_name} seqid={seqid};"
+                " re-issue the call under a fresh seqid")
+        last_exc: Optional[Exception] = None
+        for attempt in range(policy.max_attempts):
+            idx = self._pick_channel(route, len(message))
+            if idx is None:
+                break  # every candidate's breaker is open
+            breaker = self._breaker(idx)
+            sent = False
+            try:
+                chan = self._channels.get(idx)
+                if chan is None:
+                    chan = yield from self._open_channel(
+                        self.plan.channels[idx])
+                sent = True
+                if seqid is not None:
+                    self._sent_seqids.add(call_key)
+                self._note_routing(fn_name, route, idx)
+                resp = yield from chan.call(message,
+                                            resp_hint=route.resp_hint,
+                                            oneway=oneway)
+            except _CHANNEL_ERRORS as exc:
+                last_exc = self._map_error(exc)
+                breaker.record_failure()
+                self.faults.channel_failures += 1
+                self._trace("channel_error", fn_name, idx,
+                            type(exc).__name__)
+                self._discard_channel(idx)
+                if sent and not idempotent:
+                    self.faults.blind_retries_prevented += 1
+                    self._trace("blind_retry_prevented", fn_name, idx,
+                                f"seqid={seqid}")
+                    raise last_exc from exc
+                if attempt + 1 < policy.max_attempts:
+                    self.faults.retries += 1
+                    delay = policy.backoff(attempt, self.rng)
+                    self._trace("retry", fn_name, idx,
+                                f"attempt={attempt + 1} backoff={delay:.2e}")
+                    yield self.node.sim.timeout(delay)
+                continue
+            breaker.record_success()
+            self.calls_routed += 1
+            return resp
+        if last_exc is not None:
+            raise last_exc
+        raise TTransportException(
+            TTransportException.NOT_OPEN,
+            f"no channel available for {fn_name}: all circuit breakers open")
+
+    def _pick_channel(self, route: FunctionRoute, msg_len: int
+                      ) -> Optional[int]:
+        for idx in self._candidates(route.channel):
+            ch = self.plan.channels[idx]
+            if idx != route.channel and msg_len > ch.max_msg:
+                continue  # message would not fit the fallback's buffers
+            if self._breaker(idx).allow():
+                return idx
+        return None
+
+    def _note_routing(self, fn_name: str, route: FunctionRoute, idx: int
+                      ) -> None:
+        prev = self._last_channel.get(route.channel, route.channel)
+        if idx != route.channel:
+            self.faults.failovers += 1
+            self._trace("failover", fn_name, idx,
+                        f"primary={route.channel}")
+        elif prev != route.channel:
+            self.faults.failbacks += 1
+            self._trace("failback", fn_name, idx, f"from={prev}")
+        self._last_channel[route.channel] = idx
+
+    @staticmethod
+    def _map_error(exc: Exception) -> Exception:
+        """Normalize transport failures onto the Thrift error taxonomy."""
+        if isinstance(exc, WCError):
+            return transport_exception_from_wc(exc.status)
+        if isinstance(exc, TTransportException):
+            return exc
+        if isinstance(exc, ConnectionError):
+            return TTransportException(TTransportException.NOT_OPEN,
+                                       str(exc))
+        return TTransportException(TTransportException.UNKNOWN, str(exc))

@@ -1,0 +1,104 @@
+"""Failure-handling policy objects for the hint-aware engine.
+
+Two small, deterministic pieces:
+
+* :class:`RetryPolicy` -- capped exponential backoff with jitter drawn from
+  a *seeded* RNG the engine owns, so two runs with the same seed produce
+  byte-identical retry schedules (the fault-replay guarantee);
+* :class:`CircuitBreaker` -- a per-channel consecutive-failure breaker with
+  a timed OPEN -> HALF_OPEN probe cycle, evaluated purely against the
+  simulated clock.
+
+Neither knows anything about channels or protocols; the engine composes
+them (see :meth:`repro.core.engine.HatRpcEngine.call`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.units import us
+
+__all__ = ["CircuitBreaker", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff.
+
+    ``backoff(attempt, rng)`` gives the wait before retry number
+    ``attempt`` (0-based): ``base_backoff * multiplier**attempt`` capped at
+    ``max_backoff``, then spread by ``+-jitter`` (a fraction) using the
+    caller's RNG.  With a seeded RNG the schedule is deterministic.
+    """
+
+    max_attempts: int = 4
+    base_backoff: float = 50 * us
+    multiplier: float = 2.0
+    max_backoff: float = 1000 * us
+    jitter: float = 0.2
+
+    def backoff(self, attempt: int, rng: Optional[random.Random] = None
+                ) -> float:
+        raw = min(self.base_backoff * self.multiplier ** attempt,
+                  self.max_backoff)
+        if self.jitter and rng is not None:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over the simulated clock.
+
+    CLOSED -> (``failure_threshold`` consecutive failures) -> OPEN ->
+    (``reset_after`` of sim time) -> HALF_OPEN -> one probe call ->
+    CLOSED on success / OPEN again on failure.
+
+    The engine's connections are single-outstanding, so HALF_OPEN needs no
+    probe-in-flight bookkeeping: at most one call can be probing.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, sim, failure_threshold: int = 3,
+                 reset_after: float = 1000 * us,
+                 on_open: Optional[Callable[["CircuitBreaker"], None]] = None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.sim = sim
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self.on_open = on_open
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at = float("-inf")
+        self.opens = 0
+
+    def allow(self) -> bool:
+        """May a call go through right now?"""
+        if self.state == self.OPEN:
+            if self.sim.now - self.opened_at >= self.reset_after:
+                self.state = self.HALF_OPEN
+            else:
+                return False
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = self.CLOSED
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == self.HALF_OPEN or \
+                self.failures >= self.failure_threshold:
+            if self.state != self.OPEN:
+                self.opens += 1
+                if self.on_open is not None:
+                    self.on_open(self)
+            self.state = self.OPEN
+            self.opened_at = self.sim.now
+            self.failures = 0

@@ -74,7 +74,12 @@ class RdmaChannel:
         self._client = client_cls(node.nic, cfg)
 
     def open(self, remote_node, service_id: int):
-        yield from self._client.connect(remote_node, service_id)
+        try:
+            yield from self._client.connect(remote_node, service_id)
+        except BaseException:
+            # Never leave a half-open connection behind a failed handshake.
+            self._client.abort()
+            raise
 
     def call(self, message: bytes, resp_hint: int, oneway: bool = False):
         # Oneway still receives the engine-level empty ack the server sends
@@ -82,7 +87,9 @@ class RdmaChannel:
         return (yield from self._client.call(message, resp_hint=resp_hint))
 
     def close(self) -> None:
-        pass
+        # Error the QP pair: the peer-side flush wakes the server's serve
+        # loop so it can release the connection.
+        self._client.abort()
 
 
 class TcpChannel:
@@ -184,13 +191,18 @@ class HatRpcClient:
                  base_service_id: int = DEFAULT_BASE_SERVICE_ID,
                  protocol_factory: Callable = TBinaryProtocol,
                  concurrency: Optional[int] = None,
-                 plan: Optional[ServicePlan] = None):
+                 plan: Optional[ServicePlan] = None,
+                 deadline: Optional[float] = None,
+                 retry_policy=None, idempotent=(), rng=None):
         self.node = node
         self.gen = gen_module
         self.service_name = service_name
         self.plan = plan or service_plan_of(gen_module, service_name,
                                             concurrency)
-        self.engine = HatRpcEngine(node, self.plan, base_service_id)
+        self.engine = HatRpcEngine(node, self.plan, base_service_id,
+                                   deadline=deadline,
+                                   retry_policy=retry_policy,
+                                   idempotent=idempotent, rng=rng)
         self.trans = TRdma(self.engine)
         self.protocol = HintedProtocol(protocol_factory(self.trans),
                                        self.trans)
@@ -210,14 +222,20 @@ def hatrpc_connect(node, remote_node, gen_module, service_name: str,
                    base_service_id: int = DEFAULT_BASE_SERVICE_ID,
                    protocol_factory: Callable = TBinaryProtocol,
                    concurrency: Optional[int] = None,
-                   plan: Optional[ServicePlan] = None):
+                   plan: Optional[ServicePlan] = None,
+                   deadline: Optional[float] = None,
+                   retry_policy=None, idempotent=(), rng=None):
     """Coroutine: one-call client setup; returns the generated stub.
 
     The stub's methods are coroutines: ``yield from stub.Method(...)``.
     Keep a reference to ``stub._hatrpc`` (the HatRpcClient) for close().
+    ``deadline`` / ``retry_policy`` / ``idempotent`` / ``rng`` configure the
+    engine's failure handling (see :class:`repro.core.engine.HatRpcEngine`).
     """
     client = HatRpcClient(node, gen_module, service_name, base_service_id,
-                          protocol_factory, concurrency, plan)
+                          protocol_factory, concurrency, plan,
+                          deadline=deadline, retry_policy=retry_policy,
+                          idempotent=idempotent, rng=rng)
     stub = yield from client.connect(remote_node)
     stub._hatrpc = client
     return stub

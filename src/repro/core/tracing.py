@@ -13,10 +13,40 @@ one is installed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["CallSpan", "FunctionSummary", "Tracer", "attach_tracer"]
+__all__ = ["CallSpan", "FaultCounters", "FunctionSummary", "Tracer",
+           "attach_tracer"]
+
+
+@dataclass
+class FaultCounters:
+    """Recovery-path instrumentation, owned by the engine.
+
+    Every recovery mechanism bumps exactly one counter per decision, so a
+    scenario's counters are as replayable as its fault trace.
+    """
+
+    retries: int = 0                  # backoff-then-resend decisions
+    timeouts: int = 0                 # per-call deadlines that fired
+    reconnects: int = 0               # channels discarded for reopening
+    failovers: int = 0                # calls routed off their primary channel
+    failbacks: int = 0                # calls returned to a recovered primary
+    breaker_opens: int = 0            # circuit-breaker CLOSED/HALF_OPEN -> OPEN
+    blind_retries_prevented: int = 0  # non-idempotent resends refused
+    channel_failures: int = 0         # transport errors observed on channels
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+    def summary_line(self) -> str:
+        return ("retries={retries} timeouts={timeouts} "
+                "reconnects={reconnects} failovers={failovers} "
+                "failbacks={failbacks} breaker_opens={breaker_opens} "
+                "blind_retries_prevented={blind_retries_prevented} "
+                "channel_failures={channel_failures}"
+                .format(**self.as_dict()))
 
 
 @dataclass(frozen=True)
@@ -96,10 +126,10 @@ def attach_tracer(engine, tracer: Optional[Tracer] = None) -> Tracer:
     tracer = tracer or Tracer()
     inner = engine.call
 
-    def traced_call(fn_name: str, message: bytes, oneway: bool = False):
+    def traced_call(fn_name: str, message: bytes, oneway: bool = False, **kw):
         route = engine.plan.routes.get(fn_name)
         start = engine.node.sim.now
-        resp = yield from inner(fn_name, message, oneway=oneway)
+        resp = yield from inner(fn_name, message, oneway=oneway, **kw)
         ch = (engine.plan.channels[route.channel]
               if route is not None else None)
         tracer.record(CallSpan(

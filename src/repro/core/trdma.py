@@ -35,18 +35,21 @@ class TRdma(TTransport):
         self._rpos = 0
         self._current_fn: Optional[str] = None
         self._current_oneway = False
+        self._current_seqid: Optional[int] = None
         self._fn_switches = 0   # dynamic-hint ablation instrumentation
 
     # -- routing state (set by HintedProtocol) ------------------------------
-    def set_current_function(self, name: str, mtype: int) -> None:
+    def set_current_function(self, name: str, mtype: int,
+                             seqid: Optional[int] = None) -> None:
         if name != self._current_fn:
             self._fn_switches += 1
         self._current_fn = name
         self._current_oneway = mtype == TMessageType.ONEWAY
+        self._current_seqid = seqid
 
     # -- TTransport interface --------------------------------------------------
     def is_open(self) -> bool:
-        return self.engine._connected
+        return self.engine.is_open()
 
     def close(self) -> None:
         self.engine.close()
@@ -62,7 +65,8 @@ class TRdma(TTransport):
         message = bytes(self._wbuf)
         self._wbuf.clear()
         resp = yield from self.engine.call(self._current_fn, message,
-                                           oneway=self._current_oneway)
+                                           oneway=self._current_oneway,
+                                           seqid=self._current_seqid)
         self._rbuf = resp or b""
         self._rpos = 0
 
@@ -88,7 +92,7 @@ class HintedProtocol:
         self.trans = protocol.trans
 
     def write_message_begin(self, name: str, mtype: int, seqid: int):
-        self._trdma.set_current_function(name, mtype)
+        self._trdma.set_current_function(name, mtype, seqid)
         self._proto.write_message_begin(name, mtype, seqid)
 
     def __getattr__(self, item):

@@ -1,0 +1,98 @@
+"""Arming fault plans onto a testbed.
+
+The injector translates a :class:`~repro.faults.plan.FaultPlan` into the
+simulator's native mechanisms:
+
+* window events (:class:`LinkFlap`, :class:`PacketLoss`) install
+  clock-evaluated windows on the fabric ports -- no injector process runs
+  during the window, so they cannot perturb event ordering;
+* instant events (:class:`QPError`, :class:`ServerCrash`) are driven by one
+  injector process per event that sleeps to the scheduled time and acts.
+
+Everything the injector does is appended to :attr:`FaultInjector.log` as
+``(sim_time, kind, node)`` tuples, giving tests a replayable record.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.faults.plan import (FaultPlan, LinkFlap, PacketLoss, QPError,
+                               ServerCrash)
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Installs a :class:`FaultPlan` onto a testbed.
+
+    ``tb`` is anything with ``sim``, ``cluster``, and ``fabric`` attributes
+    (normally :class:`repro.testbed.Testbed`).  Call :meth:`arm` once,
+    before running the workload.
+    """
+
+    def __init__(self, tb, plan: FaultPlan):
+        self.sim = tb.sim
+        self.cluster = tb.cluster
+        self.fabric = tb.fabric
+        self.plan = plan
+        self.log: List[Tuple[float, str, str]] = []
+        #: optional per-node callbacks run after a crashed node restores
+        #: (e.g. restart its servers); registered via :meth:`on_restore`.
+        self._restart: Dict[str, List[Callable[[], None]]] = {}
+        self._armed = False
+
+    def on_restore(self, node_name: str, hook: Callable[[], None]) -> None:
+        """Run ``hook`` after ``node_name`` comes back from a ServerCrash."""
+        self._restart.setdefault(node_name, []).append(hook)
+
+    def arm(self) -> "FaultInjector":
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        for i, ev in enumerate(self.plan.events):
+            if isinstance(ev, LinkFlap):
+                self.fabric.ports[ev.node].schedule_down(ev.start, ev.end)
+                self.log.append((ev.start, "link_down", ev.node))
+                self.log.append((ev.end, "link_up", ev.node))
+            elif isinstance(ev, PacketLoss):
+                self.fabric.ports[ev.node].schedule_drops(
+                    ev.start, ev.end, ev.drop_prob,
+                    seed=self.plan.event_seed(i))
+                self.log.append((ev.start, "loss_start", ev.node))
+                self.log.append((ev.end, "loss_end", ev.node))
+            elif isinstance(ev, QPError):
+                self.sim.process(self._qp_error(ev),
+                                 name=f"fault-qperr-{ev.node}")
+            elif isinstance(ev, ServerCrash):
+                self.sim.process(self._crash(ev),
+                                 name=f"fault-crash-{ev.node}")
+        self.log.sort()
+        return self
+
+    # -- instant-event processes ---------------------------------------------
+    def _qp_error(self, ev: QPError):
+        yield self.sim.timeout(ev.at)
+        device = self.cluster[ev.node].nic
+        if ev.qp_num is not None:
+            qps = [device._qps[ev.qp_num]]
+        else:
+            qps = list(device._qps.values())
+        for qp in qps:
+            qp.to_error()
+            if qp.peer is not None:
+                qp.peer.to_error()
+        self.log.append((self.sim.now, "qp_error", ev.node))
+        self.log.sort()
+
+    def _crash(self, ev: ServerCrash):
+        node = self.cluster[ev.node]
+        yield self.sim.timeout(ev.at)
+        node.crash()
+        self.log.append((self.sim.now, "crash", ev.node))
+        yield self.sim.timeout(ev.downtime)
+        node.restore()
+        self.log.append((self.sim.now, "restore", ev.node))
+        for hook in self._restart.get(ev.node, ()):
+            hook()
+        self.log.sort()

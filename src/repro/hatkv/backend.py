@@ -57,6 +57,9 @@ class LmdbBackend:
         self.group_commit_batch = 8
         self.reads = 0
         self.writes = 0
+        #: write transactions rolled back because the handler died mid-RPC
+        #: (LMDB's ``with env.begin(write=True)`` aborts on exception)
+        self.aborts = 0
 
     # -- hint-driven tuning (S4.4) -----------------------------------------------
     def apply_hints(self, hints: ResolvedHints) -> None:
@@ -163,6 +166,11 @@ class LmdbBackend:
             with self.env.begin(write=True) as txn:
                 txn.put(key, value)
             yield from self._charge(self._commit_cost())
+        except BaseException:
+            # A fault mid-RPC (deadline interrupt, dead connection) lands
+            # here before commit: the context manager rolled the txn back.
+            self.aborts += 1
+            raise
         finally:
             self._writer.release()
         self.writes += 1
@@ -186,6 +194,9 @@ class LmdbBackend:
                 for key, value in sorted(zip(keys, values)):
                     txn.put(key, value)
             yield from self._charge(self._commit_cost())
+        except BaseException:
+            self.aborts += 1
+            raise
         finally:
             self._writer.release()
         self.writes += len(keys)

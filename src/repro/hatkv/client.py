@@ -8,18 +8,34 @@ from repro.core.engine import ServicePlan
 from repro.core.runtime import hatrpc_connect
 from repro.hatkv.server import BASE_SID, SERVICE
 
-__all__ = ["connect_hatkv"]
+__all__ = ["IDEMPOTENT_FUNCTIONS", "connect_hatkv"]
+
+#: KVService functions that are safe to re-send after a transport failure:
+#: the read set.  Put/MultiPut are deliberately absent -- a lost-ACK retry
+#: could double-apply a write, so the engine refuses to blind-retry them
+#: (the application must re-issue under a fresh seqid if it wants
+#: at-least-once writes).
+IDEMPOTENT_FUNCTIONS = ("Get", "MultiGet", "Scan")
 
 
 def connect_hatkv(node, server_node, gen_module,
                   concurrency: Optional[int] = None,
                   plan: Optional[ServicePlan] = None,
-                  base_service_id: int = BASE_SID):
+                  base_service_id: int = BASE_SID,
+                  deadline: Optional[float] = None,
+                  retry_policy=None, rng=None):
     """Coroutine: a connected KVService stub.
 
     All stub methods are coroutines: ``value = yield from stub.Get(key)``.
+    The read functions are pre-registered idempotent, so the engine may
+    transparently retry / fail them over under injected faults; writes are
+    never blind-retried.
     """
     stub = yield from hatrpc_connect(node, server_node, gen_module, SERVICE,
                                      base_service_id=base_service_id,
-                                     concurrency=concurrency, plan=plan)
+                                     concurrency=concurrency, plan=plan,
+                                     deadline=deadline,
+                                     retry_policy=retry_policy,
+                                     idempotent=IDEMPOTENT_FUNCTIONS,
+                                     rng=rng)
     return stub

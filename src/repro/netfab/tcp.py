@@ -20,7 +20,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.netfab.fabric import Fabric
+from repro.netfab.fabric import Fabric, LinkDownError
 from repro.sim.cluster import Node
 from repro.sim.core import Simulator
 from repro.sim.sync import Gate, Store
@@ -81,9 +81,15 @@ class TcpConn:
         while off < len(view):
             seg = view[off:off + p.mtu]
             yield cpu.compute(p.stack_cpu_per_seg)
-            yield from self.stack.fabric.transmit(
-                self.stack.node, self.peer_stack.node, len(seg),
-                rate_cap=p.effective_rate)
+            try:
+                yield from self.stack.fabric.transmit(
+                    self.stack.node, self.peer_stack.node, len(seg),
+                    rate_cap=p.effective_rate)
+            except LinkDownError as e:
+                # The kernel gives up after its retry budget: the connection
+                # resets on both ends.
+                self.close()
+                raise TcpError(f"connection reset: {e}") from e
             self.peer._deliver(bytes(seg))
             off += len(seg)
         self.bytes_sent += len(data)
@@ -132,9 +138,17 @@ class TcpConn:
         if self._closed:
             return
         self._closed = True
+        self._drop_from_registry()
         if self.peer is not None and not self.peer._closed:
             self.peer._closed = True
+            self.peer._drop_from_registry()
             self.peer._rx_gate.fire()
+
+    def _drop_from_registry(self) -> None:
+        try:
+            self.stack._conns.remove(self)
+        except ValueError:
+            pass
 
     @property
     def closed(self) -> bool:
@@ -167,7 +181,21 @@ class TcpStack:
         self.fabric = fabric
         self.params = params or TcpParams()
         self._listeners: Dict[int, TcpListener] = {}
+        self._conns: list[TcpConn] = []
         node.tcp = self
+        node.on_crash(self.fail)
+
+    def fail(self) -> None:
+        """Node crash: reset every live connection and stop listening.
+
+        Peers see EOF (recv returns ``b""``), which the Thrift transport
+        surfaces as END_OF_FILE -- exactly what a fail-stop peer looks like
+        over real TCP once the retry budget lapses.  Idempotent.
+        """
+        for conn in list(self._conns):
+            conn.close()
+        self._conns.clear()
+        self._listeners.clear()
 
     def listen(self, port: int) -> TcpListener:
         if port in self._listeners:
@@ -181,6 +209,8 @@ class TcpStack:
         peer_stack: TcpStack = remote.tcp
         if peer_stack is None:
             raise TcpError(f"no TCP stack on {remote.name}")
+        if not getattr(remote, "up", True):
+            raise TcpError(f"no route to host: {remote.name} is down")
         lst = peer_stack._listeners.get(port)
         if lst is None:
             raise TcpError(f"connection refused: {remote.name}:{port}")
@@ -189,5 +219,7 @@ class TcpStack:
         server = TcpConn(peer_stack, self)
         client.peer = server
         server.peer = client
+        self._conns.append(client)
+        peer_stack._conns.append(server)
         lst._backlog.put(server)
         return client

@@ -27,6 +27,7 @@ from typing import Callable, Dict, Optional, Type
 from repro.sim.units import KiB
 from repro.verbs.cq import CQ, PollMode
 from repro.verbs.device import Device
+from repro.verbs.errors import QPStateError, WCError
 from repro.verbs import cm
 from repro.verbs.types import WC, WCStatus
 
@@ -91,7 +92,7 @@ class ProtoConfig:
 
 def check_wc(wc: WC) -> WC:
     if wc.status is not WCStatus.SUCCESS:
-        raise ProtocolError(f"work completion failed: {wc.status.value}")
+        raise WCError(wc.status)
     return wc
 
 
@@ -157,6 +158,19 @@ class RpcClient:
     def _wait(self, cq: CQ, max_wc: int = 16):
         return (yield from cq.wait(self.cfg.poll_mode, max_wc))
 
+    def abort(self) -> None:
+        """Hard-close the connection: error the QP (and the peer's).
+
+        The peer-side flush unblocks the server's serve loop, which then
+        tears the connection down -- the RST of this transport.  Safe to
+        call repeatedly or on a never-connected client.
+        """
+        qp = getattr(self, "qp", None)
+        if qp is not None:
+            qp.to_error()
+            if qp.peer is not None:
+                qp.peer.to_error()
+
 
 class RpcServer:
     """Base class for protocol servers.
@@ -180,6 +194,7 @@ class RpcServer:
         self.listener = None
         self.connections = 0
         self.requests = 0
+        self.teardowns = 0
         self._stopped = False
 
     def start(self) -> "RpcServer":
@@ -214,15 +229,36 @@ class RpcServer:
     def _reply(self, endpoint, resp: bytes):
         raise NotImplementedError
 
+    #: "the connection is dead" -- an error completion or an operation on an
+    #: already-flushed QP.  Local misuse (MemoryAccessError, oversize
+    #: responses) deliberately stays loud instead of reading as a dead peer.
+    _DEAD_CONN = (WCError, QPStateError)
+
     def _serve_loop(self, endpoint):
         while True:
             try:
                 request = yield from self._recv(endpoint)
-            except ProtocolError:
-                return  # connection torn down
-            resp = yield from self._dispatch(request)
-            yield from self._reply(endpoint, resp)
+            except (ProtocolError, *self._DEAD_CONN):
+                # Tear it down server-side so a client reconnect starts clean.
+                self.teardowns += 1
+                self._teardown(endpoint)
+                return
+            try:
+                resp = yield from self._dispatch(request)
+                yield from self._reply(endpoint, resp)
+            except self._DEAD_CONN:
+                self.teardowns += 1
+                self._teardown(endpoint)
+                return
             self.requests += 1
+
+    def _teardown(self, endpoint) -> None:
+        """Release a dead connection's QP (idempotent)."""
+        qp = getattr(endpoint, "qp", None)
+        if qp is not None:
+            qp.to_error()
+            if qp.peer is not None:
+                qp.peer.to_error()
 
     def _dispatch(self, request: bytes):
         if self._handler_is_gen:

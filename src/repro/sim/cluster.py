@@ -13,7 +13,7 @@ by 100 Gbps InfiniBand EDR.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.sim.core import Simulator
 from repro.sim.cpu import CpuScheduler
@@ -46,10 +46,46 @@ class Node:
         self.nic: Any = None          # repro.verbs.device.Device
         self.tcp: Any = None          # repro.netfab.tcp.TcpStack
         self.props: Dict[str, Any] = {}
+        # Liveness (fault injection): subsystems register hooks so a crash
+        # fails their live state (QPs, TCP connections) and a restore lets
+        # servers re-listen.
+        self.up = True
+        self.crashes = 0
+        self._crash_hooks: List[Callable[[], None]] = []
+        self._restore_hooks: List[Callable[[], None]] = []
 
     def compute(self, cpu_seconds: float):
         """Event that fires after ``cpu_seconds`` of fair-shared CPU work."""
         return self.cpu.compute(cpu_seconds)
+
+    # -- liveness ----------------------------------------------------------
+    def on_crash(self, hook: Callable[[], None]) -> None:
+        self._crash_hooks.append(hook)
+
+    def on_restore(self, hook: Callable[[], None]) -> None:
+        self._restore_hooks.append(hook)
+
+    def crash(self) -> None:
+        """Fail-stop: kill the node's live connection state.
+
+        In-flight operations targeting this node complete with transport
+        errors; nothing here touches durable state (HatKV's LMDB survives,
+        as a real machine's disk would).  Idempotent.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self.crashes += 1
+        for hook in self._crash_hooks:
+            hook()
+
+    def restore(self) -> None:
+        """Bring the node back up (fresh connection state, durable data intact)."""
+        if self.up:
+            return
+        self.up = True
+        for hook in self._restore_hooks:
+            hook()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Node {self.name}: {self.spec.cores} cores>"

@@ -40,11 +40,18 @@ class Resource:
     def release(self) -> None:
         if self.in_use <= 0:
             raise SimulationError("release() without matching acquire()")
-        if self._waiters:
-            # Hand the slot directly to the next waiter; in_use is unchanged.
-            self._waiters.popleft().succeed()
-        else:
-            self.in_use -= 1
+        while self._waiters:
+            ev = self._waiters.popleft()
+            # Skip waiters whose process was interrupted (e.g. a deadline
+            # cancellation): interrupt() detached their callback, so handing
+            # them the slot would leak it forever.  A live waiter always has
+            # a registered callback here because acquire()->yield happens
+            # without an intervening event-loop step.
+            if not ev.triggered and ev.callbacks:
+                # Hand the slot directly to the waiter; in_use is unchanged.
+                ev.succeed()
+                return
+        self.in_use -= 1
 
     def use(self, duration: float):
         """Generator helper: hold the resource for ``duration`` seconds."""

@@ -7,6 +7,7 @@ __all__ = [
     "TException",
     "TProtocolException",
     "TTransportException",
+    "transport_exception_from_wc",
 ]
 
 
@@ -28,6 +29,29 @@ class TTransportException(TException):
     def __init__(self, type: int = UNKNOWN, message: str = ""):
         super().__init__(message)
         self.type = type
+
+
+#: verbs WCStatus.value -> TTransportException type.  RNR exhaustion and
+#: transport-retry exhaustion are *time* failures (the peer or link stopped
+#: responding); a flushed WR means the QP was already dead (never open from
+#: the transport's point of view); a local-length error truncates the stream.
+_WC_TO_TTYPE = {
+    "rnr_retry_exc": TTransportException.TIMED_OUT,
+    "retry_exc": TTransportException.TIMED_OUT,
+    "wr_flush_err": TTransportException.NOT_OPEN,
+    "loc_len_err": TTransportException.END_OF_FILE,
+}
+
+
+def transport_exception_from_wc(status) -> TTransportException:
+    """Map a verbs work-completion status onto the Thrift error taxonomy.
+
+    Duck-typed on ``status.value`` so this module stays free of a verbs
+    dependency (the thrift package must also run over plain TCP).
+    """
+    value = getattr(status, "value", str(status))
+    ttype = _WC_TO_TTYPE.get(value, TTransportException.UNKNOWN)
+    return TTransportException(ttype, f"work completion failed: {value}")
 
 
 class TProtocolException(TException):

@@ -18,6 +18,7 @@ from repro.verbs.errors import (
     MemoryAccessError,
     QPStateError,
     VerbsError,
+    WCError,
 )
 from repro.verbs.memory import Memory
 from repro.verbs.types import (
@@ -57,6 +58,7 @@ __all__ = [
     "Sge",
     "VerbsError",
     "WC",
+    "WCError",
     "WCOpcode",
     "WCStatus",
 ]

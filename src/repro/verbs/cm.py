@@ -91,6 +91,8 @@ def connect(qp: QP, remote: Node, service_id: int, private_data: bytes = b""):
     """
     if qp.peer is not None:
         raise VerbsError("connect with an already-connected QP")
+    if not getattr(remote, "up", True):
+        raise ConnectionRefusedError(f"{remote.name} is down")
     rdev: Optional[Device] = remote.nic
     if rdev is None:
         raise VerbsError(f"no RDMA device on {remote.name}")

@@ -72,6 +72,14 @@ class CostModel:
     #: Receiver-not-ready retry timer (SEND arriving with no recv WQE).
     rnr_timer: float = 10 * us
     rnr_retry_limit: int = 7
+    #: RC transport retry timer: how long the requester NIC waits before
+    #: retransmitting an unacknowledged packet (the local-ACK timeout; real
+    #: HCAs use 4.096us * 2^timeout, scaled down here so a link flap costs
+    #: hundreds of microseconds of sim time, not hundreds of milliseconds).
+    transport_retry_timeout: float = 50 * us
+    #: How many transport retries before the WR completes with
+    #: IBV_WC_RETRY_EXC_ERR and the QP moves to ERROR (ibv retry_cnt).
+    transport_retry_limit: int = 7
 
     def memcpy_time(self, nbytes: int) -> float:
         return self.memcpy_base + nbytes / self.memcpy_rate

@@ -104,6 +104,21 @@ class Device:
         self.doorbells = 0
         self.wrs_posted = 0
         node.nic = self
+        node.on_crash(self.fail)
+
+    def fail(self) -> None:
+        """Node crash: error every QP (flushing both sides) and drop listeners.
+
+        Registered memory and its contents are *not* cleared -- a crashed
+        node's RAM is gone in reality, but nothing can reach it while the
+        node is down, and restore() semantics here are "process restarted",
+        which re-registers anyway.  Idempotent.
+        """
+        for qp in list(self._qps.values()):
+            qp.to_error()
+            if qp.peer is not None:
+                qp.peer.to_error()
+        self._listeners.clear()
 
     # -- factories ------------------------------------------------------------
     def alloc_pd(self) -> PD:

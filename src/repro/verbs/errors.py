@@ -5,6 +5,7 @@ __all__ = [
     "MemoryAccessError",
     "QPStateError",
     "VerbsError",
+    "WCError",
 ]
 
 
@@ -22,3 +23,16 @@ class QPStateError(VerbsError):
 
 class CQOverflowError(VerbsError):
     """More completions generated than the CQ has capacity for."""
+
+
+class WCError(VerbsError):
+    """An error work completion, surfaced as an exception.
+
+    Carries the :class:`~repro.verbs.types.WCStatus` so upper layers can map
+    it onto their own error taxonomy (the thrift transport exceptions do).
+    """
+
+    def __init__(self, status, message: str = ""):
+        super().__init__(message
+                         or f"work completion failed: {status.value}")
+        self.status = status

@@ -146,6 +146,34 @@ class QP:
         return len(self.srq) if self.srq is not None else len(self._recv_queue)
 
     # -- NIC datapath -------------------------------------------------------------
+    def _transport_guard(self):
+        """Coroutine: RC transport retries against link faults.
+
+        Models the requester NIC's local-ACK-timeout retransmission: while
+        the path is inside a down window (or the packet is lost in a drop
+        window, or the peer node has crashed), wait ``transport_retry_timeout``
+        and try again, up to ``transport_retry_limit`` times.  Returns
+        ``WCStatus.SUCCESS`` once the wire accepts the packet, or
+        ``RETRY_EXC_ERR`` when the budget is exhausted.  Runs inside detached
+        NIC processes, so faults are *returned* as statuses, never raised.
+        """
+        dev = self.device
+        peer = self.peer
+        assert peer is not None
+        rnode = peer.device.node
+        fabric = dev.fabric
+        cost = dev.cost
+        retries = 0
+        while (not getattr(rnode, "up", True)
+               or fabric.link_down(dev.node, rnode)
+               or fabric.roll_drop(dev.node, rnode)):
+            if retries >= cost.transport_retry_limit:
+                dev.port.faults_seen += 1
+                return WCStatus.RETRY_EXC_ERR
+            retries += 1
+            yield dev.sim.timeout(cost.transport_retry_timeout)
+        return WCStatus.SUCCESS
+
     def _nic_chain(self, chain: List[SendWR]):
         """Process a WR chain.
 
@@ -196,6 +224,9 @@ class QP:
         n = wr.sge.length
         wire_latency = dev.fabric.params.wire_latency
 
+        status = yield from self._transport_guard()
+        if status is not WCStatus.SUCCESS:
+            return status
         yield sim.timeout(wire_latency)
         yield from rdev.port.rx.use(rdev.port.wire_time(n) + cost.rx_nic)
         rdev.port.bytes_received += n
@@ -258,6 +289,9 @@ class QP:
         wire_latency = dev.fabric.params.wire_latency
         req = cost.read_request_bytes
 
+        status = yield from self._transport_guard()
+        if status is not WCStatus.SUCCESS:
+            return status
         # Request message to the responder NIC.
         yield from dev.port.tx.use(cost.wqe_nic + dev.port.wire_time(req))
         yield sim.timeout(wire_latency)

@@ -42,7 +42,24 @@ class WCStatus(enum.Enum):
     LOC_LEN_ERR = "loc_len_err"          # recv buffer too small for SEND
     REM_ACCESS_ERR = "rem_access_err"    # bad rkey / out-of-bounds remote op
     RNR_RETRY_EXC_ERR = "rnr_retry_exc"  # receiver-not-ready retries exhausted
+    RETRY_EXC_ERR = "retry_exc"          # transport retries exhausted (link/peer dead)
     WR_FLUSH_ERR = "wr_flush_err"        # QP moved to error state
+
+    @property
+    def is_error(self) -> bool:
+        return self is not WCStatus.SUCCESS
+
+    @property
+    def retryable(self) -> bool:
+        """Whether a fresh connection could plausibly clear this status.
+
+        RNR exhaustion and transport-retry exhaustion are congestion/link
+        conditions that pass; flushes mean the QP died and a reconnect is
+        required but sensible.  Access and length errors are programming
+        bugs -- retrying cannot fix them.
+        """
+        return self in (WCStatus.RNR_RETRY_EXC_ERR, WCStatus.RETRY_EXC_ERR,
+                        WCStatus.WR_FLUSH_ERR)
 
 
 class QPState(enum.Enum):

@@ -128,15 +128,15 @@ def test_hinted_protocol_delegates_everything():
         def __init__(self):
             self.seen = None
 
-        def set_current_function(self, name, mtype):
-            self.seen = (name, mtype)
+        def set_current_function(self, name, mtype, seqid=None):
+            self.seen = (name, mtype, seqid)
 
     buf = TMemoryBuffer()
     inner = TBinaryProtocol(buf)
     fake = FakeTrans()
     prot = HintedProtocol(inner, fake)
     prot.write_message_begin("DoIt", TMessageType.CALL, 7)
-    assert fake.seen == ("DoIt", TMessageType.CALL)
+    assert fake.seen == ("DoIt", TMessageType.CALL, 7)
     # delegated attribute access:
     prot.write_i32(42)
     assert prot.trans is buf

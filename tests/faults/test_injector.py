@@ -1,0 +1,161 @@
+"""Fault-plan and injector tests: windows, instants, and determinism."""
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkFlap,
+    PacketLoss,
+    QPError,
+    ServerCrash,
+)
+from repro.sim.units import us
+from repro.testbed import Testbed
+from repro.verbs import QPState
+from repro.verbs.qp import connect_pair
+
+
+def make_qp_pair(tb, i=0, j=1):
+    """A connected QP pair between node i and node j (no CQ plumbing)."""
+    cdev, sdev = tb.node(i).nic, tb.node(j).nic
+    cqp = cdev.create_qp(cdev.alloc_pd(), cdev.create_cq(), cdev.create_cq())
+    sqp = sdev.create_qp(sdev.alloc_pd(), sdev.create_cq(), sdev.create_cq())
+    connect_pair(cqp, sqp)
+    return cqp, sqp
+
+
+# -- plan validation ---------------------------------------------------------
+
+def test_plan_rejects_unknown_event_type():
+    with pytest.raises(TypeError, match="unknown fault event"):
+        FaultPlan(seed=1, events=("not-an-event",))
+
+
+def test_event_seed_is_pure_function_of_seed_and_index():
+    a, b = FaultPlan(seed=7), FaultPlan(seed=7)
+    assert [a.event_seed(i) for i in range(4)] == \
+        [b.event_seed(i) for i in range(4)]
+    assert FaultPlan(seed=8).event_seed(0) != a.event_seed(0)
+
+
+def test_arm_twice_rejected():
+    tb = Testbed(n_nodes=2)
+    inj = FaultInjector(tb, FaultPlan()).arm()
+    with pytest.raises(RuntimeError, match="already armed"):
+        inj.arm()
+
+
+# -- window events -----------------------------------------------------------
+
+def test_link_flap_installs_down_window():
+    tb = Testbed(n_nodes=2)
+    plan = FaultPlan(events=(LinkFlap("node1", start=10 * us,
+                                      duration=50 * us),))
+    FaultInjector(tb, plan).arm()
+    port = tb.fabric.ports["node1"]
+    assert not port.is_down(5 * us)
+    assert port.is_down(30 * us)
+    assert not port.is_down(70 * us)
+
+
+def test_packet_loss_window_is_seeded_and_replayable():
+    def drop_pattern(seed):
+        tb = Testbed(n_nodes=2)
+        plan = FaultPlan(seed=seed, events=(
+            PacketLoss("node0", start=0.0, duration=100 * us,
+                       drop_prob=0.5),))
+        FaultInjector(tb, plan).arm()
+        port = tb.fabric.ports["node0"]
+        return [port.roll_drop(t * us) for t in range(50)]
+
+    first = drop_pattern(3)
+    assert any(first) and not all(first)   # p=0.5 over 50 rolls
+    assert first == drop_pattern(3)        # same seed -> identical drops
+    assert first != drop_pattern(4)        # seed actually feeds the RNG
+
+
+def test_rolls_outside_loss_window_never_drop():
+    tb = Testbed(n_nodes=2)
+    plan = FaultPlan(events=(
+        PacketLoss("node0", start=50 * us, duration=10 * us,
+                   drop_prob=0.999),))
+    FaultInjector(tb, plan).arm()
+    port = tb.fabric.ports["node0"]
+    assert not port.roll_drop(10 * us)
+    assert port.roll_drop(55 * us)
+    assert not port.roll_drop(70 * us)
+
+
+# -- instant events ----------------------------------------------------------
+
+def test_qp_error_event_errors_the_pair():
+    tb = Testbed(n_nodes=2)
+    cqp, sqp = make_qp_pair(tb)
+    plan = FaultPlan(events=(QPError("node0", at=20 * us),))
+    inj = FaultInjector(tb, plan).arm()
+    tb.sim.run()
+    assert cqp.state is QPState.ERROR
+    assert sqp.state is QPState.ERROR
+    assert (20 * us, "qp_error", "node0") in inj.log
+
+
+def test_qp_error_can_target_one_qp():
+    tb = Testbed(n_nodes=2)
+    a_c, a_s = make_qp_pair(tb)
+    b_c, b_s = make_qp_pair(tb)
+    plan = FaultPlan(events=(QPError("node0", at=5 * us,
+                                     qp_num=a_c.qp_num),))
+    FaultInjector(tb, plan).arm()
+    tb.sim.run()
+    assert a_c.state is QPState.ERROR and a_s.state is QPState.ERROR
+    assert b_c.state is QPState.RTS and b_s.state is QPState.RTS
+
+
+def test_server_crash_and_restore_cycle():
+    tb = Testbed(n_nodes=2)
+    node = tb.node(0)
+    cqp, sqp = make_qp_pair(tb, i=0, j=1)
+    plan = FaultPlan(events=(ServerCrash("node0", at=10 * us,
+                                         downtime=40 * us),))
+    inj = FaultInjector(tb, plan)
+    restarted = []
+    inj.on_restore("node0", lambda: restarted.append(tb.sim.now))
+    inj.arm()
+
+    observed = {}
+
+    def watcher():
+        yield tb.sim.timeout(20 * us)        # mid-downtime
+        observed["during"] = node.up
+
+    tb.sim.process(watcher())
+    tb.sim.run()
+    assert observed["during"] is False
+    assert node.up and node.crashes == 1
+    # crash killed the node's QPs (and flushed the peer's)
+    assert cqp.state is QPState.ERROR and sqp.state is QPState.ERROR
+    assert node.nic._listeners == {}
+    assert restarted == [50 * us]
+    assert (10 * us, "crash", "node0") in inj.log
+    assert (50 * us, "restore", "node0") in inj.log
+
+
+# -- determinism of the whole schedule ---------------------------------------
+
+def test_same_plan_replays_identical_log():
+    plan = FaultPlan(seed=11, events=(
+        LinkFlap("node1", start=5 * us, duration=20 * us),
+        QPError("node0", at=12 * us),
+        ServerCrash("node1", at=40 * us, downtime=15 * us),
+        PacketLoss("node0", start=60 * us, duration=30 * us, drop_prob=0.3),
+    ))
+
+    def run_once():
+        tb = Testbed(n_nodes=2)
+        make_qp_pair(tb)
+        inj = FaultInjector(tb, plan).arm()
+        tb.sim.run()
+        return inj.log
+
+    assert run_once() == run_once()
