@@ -7,18 +7,51 @@ as paper-style rows).
 
 Scale: set ``REPRO_BENCH_SCALE=full`` for the paper's full parameter grids;
 the default ``small`` grid keeps the whole suite in a few minutes.
+
+Every figure also emits a machine-readable :class:`~repro.bench.BenchRecord`
+via :func:`emit_bench`; the process-wide sink flushes them to
+``BENCH_<scale>.json`` (or ``$REPRO_BENCH_OUT``) at exit, which is what
+``scripts/check_bench_regression.py`` consumes in CI.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
+from repro.bench.report import SINK, BenchRecord, metric
 from repro.sim.units import KiB, us
 
-__all__ = ["SCALE", "fmt_rows", "is_full", "kops", "pct_gain", "usec"]
+__all__ = ["SCALE", "emit_bench", "fmt_rows", "is_full", "kops",
+           "lat_metric", "pct_gain", "tput_metric", "usec"]
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def lat_metric(seconds: float) -> Dict[str, object]:
+    """A latency metric in microseconds (lower is better)."""
+    return metric(round(seconds / us, 3), unit="us", better="lower")
+
+
+def tput_metric(ops_per_sec: float) -> Dict[str, object]:
+    """A throughput metric in kops/s (higher is better)."""
+    return metric(round(ops_per_sec / 1e3, 2), unit="kops", better="higher")
+
+
+def emit_bench(figure: str, name: str, metrics: Dict[str, Dict[str, object]],
+               config: Optional[Dict[str, object]] = None,
+               **meta: object) -> BenchRecord:
+    """Queue one benchmark record on the process-wide sink.
+
+    ``metrics`` values come from :func:`lat_metric` / :func:`tput_metric` /
+    :func:`repro.bench.metric`.  The sink flushes at interpreter exit (or
+    explicitly from ``scripts/run_all_figures.py``).
+    """
+    rec = BenchRecord(figure=figure, name=name, scale=SCALE,
+                      config=dict(config or {}), metrics=dict(metrics),
+                      meta=dict(meta))
+    SINK.add(rec)
+    return rec
 
 
 def is_full() -> bool:

@@ -8,7 +8,7 @@ Direct-WriteIMM is the best small-message protocol, RFP competitive below
 
 import pytest
 
-from benchmarks.figutil import fmt_rows, is_full, usec
+from benchmarks.figutil import emit_bench, fmt_rows, is_full, lat_metric, usec
 from repro.bench import ProtoBenchSpec, run_protocol_bench
 from repro.sim.units import KiB
 from repro.verbs.cq import PollMode
@@ -40,6 +40,11 @@ def test_fig04_protocol_latency(benchmark):
                   for p in PROTOCOLS])
     benchmark.extra_info["latency_us"] = {
         f"{m}/{p}/{s}": round(v * 1e6, 3) for (m, p, s), v in lat.items()}
+    emit_bench("fig04", "protocol_latency",
+               {f"latency_us.{m}.{p}.{s}": lat_metric(v)
+                for (m, p, s), v in lat.items()},
+               config={"protocols": PROTOCOLS, "sizes": SIZES,
+                       "iters": 12, "warmup": 3})
 
     # -- shape assertions (the paper's Fig. 4 findings) --
     small = 512

@@ -8,7 +8,7 @@ messages; RFP overtakes Direct-WriteIMM for large messages at scale.
 
 import pytest
 
-from benchmarks.figutil import fmt_rows, is_full, kops
+from benchmarks.figutil import emit_bench, fmt_rows, is_full, kops, tput_metric
 from repro.bench import ProtoBenchSpec, run_protocol_bench
 from repro.sim.units import KiB
 from repro.verbs.cq import PollMode
@@ -46,6 +46,11 @@ def test_fig05_protocol_throughput(benchmark):
     benchmark.extra_info["throughput_kops"] = {
         f"{m}/{s}/{p}/{c}": round(v / 1e3, 1)
         for (m, s, p, c), v in tput.items()}
+    emit_bench("fig05", "protocol_throughput",
+               {f"throughput_kops.{m}.{s}.{p}.{c}": tput_metric(v)
+                for (m, s, p, c), v in tput.items()},
+               config={"protocols": PROTOCOLS, "clients": CLIENTS,
+                       "sizes": SIZES})
 
     big_c = CLIENTS[-1]
     # Busy polling collapse at over-subscription (512B).

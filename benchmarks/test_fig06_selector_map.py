@@ -8,7 +8,8 @@ Figure 6 structure.
 
 import pytest
 
-from benchmarks.figutil import fmt_rows
+from benchmarks.figutil import emit_bench, fmt_rows
+from repro.bench import metric
 from repro.core.hints import resolve_hints
 from repro.core.selector import select_protocol
 from repro.sim.units import KiB
@@ -42,6 +43,13 @@ def test_fig06_selector_map(benchmark):
                 f"{table[(goal, c, p)].poll_mode.value}"
                 for p in PAYLOADS] for c in CONCURRENCY])
     benchmark.extra_info["cells"] = len(table)
+    emit_bench("fig06", "selector_map",
+               {"cells": metric(len(table), unit="cells", better="none"),
+                "rfp_cells": metric(
+                    sum(1 for ch in table.values() if ch.protocol == "rfp"),
+                    unit="cells", better="none")},
+               config={"goals": GOALS, "concurrency": CONCURRENCY,
+                       "payloads": PAYLOADS})
 
     # Structure of the mapping.
     for c in CONCURRENCY:

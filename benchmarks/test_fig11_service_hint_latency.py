@@ -8,7 +8,8 @@ within a few percent and beats Hybrid-EagerRNDV by tens of percent.
 
 import pytest
 
-from benchmarks.figutil import fmt_rows, is_full, pct_gain, usec
+from benchmarks.figutil import (emit_bench, fmt_rows, is_full, lat_metric,
+                                pct_gain, usec)
 from repro.atb import LatencyBenchmark
 from repro.sim.units import KiB
 
@@ -39,6 +40,11 @@ def test_fig11_service_hint_latency(benchmark):
                      for s in SIZES] for m in MODES[1:]])
     benchmark.extra_info["latency_us"] = {
         f"{m}/{s}": round(v * 1e6, 2) for (m, s), v in lat.items()}
+    emit_bench("fig11", "service_hint_latency",
+               {f"latency_us.{m}.{s}": lat_metric(v)
+                for (m, s), v in lat.items()},
+               config={"modes": MODES, "sizes": SIZES,
+                       "iters": 12, "warmup": 3})
 
     small = 512
     # Paper: 37-54% improvement over Hybrid-EagerRNDV for <=4KB payloads.

@@ -6,7 +6,7 @@ baselines across client counts for 512 B and 128 KB payloads.
 
 import pytest
 
-from benchmarks.figutil import fmt_rows, is_full, kops
+from benchmarks.figutil import emit_bench, fmt_rows, is_full, kops, tput_metric
 from repro.atb import ThroughputBenchmark
 from repro.sim.units import KiB
 
@@ -38,6 +38,10 @@ def test_fig12_service_hint_throughput(benchmark):
                   for m in MODES])
     benchmark.extra_info["throughput_kops"] = {
         f"{m}/{s}/{c}": round(v / 1e3, 1) for (m, s, c), v in tput.items()}
+    emit_bench("fig12", "service_hint_throughput",
+               {f"throughput_kops.{m}.{s}.{c}": tput_metric(v)
+                for (m, s, c), v in tput.items()},
+               config={"modes": MODES, "clients": CLIENTS, "sizes": SIZES})
 
     big_c = CLIENTS[-1]
     # HatRPC never falls behind the hint-less baseline.

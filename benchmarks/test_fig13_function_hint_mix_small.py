@@ -7,7 +7,8 @@ the latency calls, throughput of the throughput calls.
 
 import pytest
 
-from benchmarks.figutil import fmt_rows, is_full, kops, usec
+from benchmarks.figutil import (emit_bench, fmt_rows, is_full, kops,
+                                lat_metric, tput_metric, usec)
 from repro.atb import MixBenchmark
 
 MODES = ["hatrpc", "hybrid_eager_rndv", "direct_write_send", "rfp",
@@ -38,6 +39,13 @@ def test_fig13_function_hint_mix_small(benchmark):
         f"{m}/{c}": {"lat_us": round(v[0] * 1e6, 2),
                      "tput_kops": round(v[1] / 1e3, 1)}
         for (m, c), v in res.items()}
+    metrics = {}
+    for (m, c), (lat, tput) in res.items():
+        metrics[f"lat_us.{m}.{c}"] = lat_metric(lat)
+        metrics[f"tput_kops.{m}.{c}"] = tput_metric(tput)
+    emit_bench("fig13", "function_hint_mix_small", metrics,
+               config={"modes": MODES, "clients": CLIENTS,
+                       "payload": PAYLOAD})
 
     # HatRPC's latency calls stay ahead of the hint-less baseline at every
     # client count (paper: up to 12% at 512B).

@@ -2,7 +2,8 @@
 
 import pytest
 
-from benchmarks.figutil import fmt_rows, is_full, kops, usec
+from benchmarks.figutil import (emit_bench, fmt_rows, is_full, kops,
+                                lat_metric, tput_metric, usec)
 from repro.atb import MixBenchmark
 from repro.sim.units import KiB
 
@@ -34,6 +35,13 @@ def test_fig14_function_hint_mix_large(benchmark):
         f"{m}/{c}": {"lat_us": round(v[0] * 1e6, 2),
                      "tput_kops": round(v[1] / 1e3, 1)}
         for (m, c), v in res.items()}
+    metrics = {}
+    for (m, c), (lat, tput) in res.items():
+        metrics[f"lat_us.{m}.{c}"] = lat_metric(lat)
+        metrics[f"tput_kops.{m}.{c}"] = tput_metric(tput)
+    emit_bench("fig14", "function_hint_mix_large", metrics,
+               config={"modes": MODES, "clients": CLIENTS,
+                       "payload": PAYLOAD})
 
     # Latency calls keep their isolated fast path despite the bulk traffic.
     for nc in CLIENTS:

@@ -13,7 +13,8 @@ Pilaf/RFP costly GETs) reproduces.
 
 import pytest
 
-from benchmarks.figutil import fmt_rows, is_full, kops, usec
+from benchmarks.figutil import (emit_bench, fmt_rows, is_full, kops,
+                                lat_metric, tput_metric, usec)
 from repro.emul import start_system
 from repro.testbed import Testbed
 from repro.ycsb import OpType, WORKLOAD_A, run_ycsb
@@ -48,6 +49,16 @@ def test_fig15_ycsb_a(benchmark):
                      for op in OpType] for s in SYSTEMS])
     benchmark.extra_info["throughput_kops"] = {
         s: round(r.throughput_ops / 1e3, 1) for s, r in res.items()}
+    metrics = {}
+    for s, r in res.items():
+        metrics[f"tput_kops.{s}"] = tput_metric(r.throughput_ops)
+        for op in OpType:
+            if r.latency(op).samples:
+                metrics[f"lat_us.{s}.{op.value}"] = \
+                    lat_metric(r.latency(op).mean)
+    emit_bench("fig15", "ycsb_a", metrics,
+               config={"systems": SYSTEMS, "n_clients": N_CLIENTS,
+                       "ops_per_client": OPS})
 
     # Latency-panel orderings from the paper.
     hat = res["hatkv_function"]

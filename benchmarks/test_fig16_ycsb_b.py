@@ -8,7 +8,8 @@ Pilaf/RFP paying their multi-READ / speculative-READ fetch paths.
 
 import pytest
 
-from benchmarks.figutil import fmt_rows, is_full, kops, usec
+from benchmarks.figutil import (emit_bench, fmt_rows, is_full, kops,
+                                lat_metric, tput_metric, usec)
 from repro.emul import start_system
 from repro.testbed import Testbed
 from repro.ycsb import OpType, WORKLOAD_B, run_ycsb
@@ -44,6 +45,16 @@ def test_fig16_ycsb_b(benchmark):
                      for op in OpType] for s in SYSTEMS])
     benchmark.extra_info["throughput_kops"] = {
         s: round(r.throughput_ops / 1e3, 1) for s, r in res.items()}
+    metrics = {}
+    for s, r in res.items():
+        metrics[f"tput_kops.{s}"] = tput_metric(r.throughput_ops)
+        for op in OpType:
+            if r.latency(op).samples:
+                metrics[f"lat_us.{s}.{op.value}"] = \
+                    lat_metric(r.latency(op).mean)
+    emit_bench("fig16", "ycsb_b", metrics,
+               config={"systems": SYSTEMS, "n_clients": N_CLIENTS,
+                       "ops_per_client": OPS})
 
     # The paper's throughput ordering.
     assert hat > res["ar_grpc"].throughput_ops * 0.98

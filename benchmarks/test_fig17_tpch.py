@@ -8,7 +8,8 @@ dominated by local compute show the smallest gains.
 
 import pytest
 
-from benchmarks.figutil import fmt_rows, is_full
+from benchmarks.figutil import emit_bench, fmt_rows, is_full
+from repro.bench import metric
 from repro.tpch.distributed import DistributedTpch
 
 MODES = ["ipoib", "hatrpc_service", "hatrpc_function"]
@@ -45,6 +46,13 @@ def test_fig17_tpch(benchmark):
         totals["ipoib"] / totals["hatrpc_function"], 3)
     benchmark.extra_info["exchange_bytes_total"] = sum(
         r.exchange_bytes for r in res["hatrpc_function"].values())
+    metrics = {f"total_ms.{m}": metric(round(totals[m] * 1e3, 3), unit="ms",
+                                       better="lower") for m in MODES}
+    metrics["speedup_function_vs_ipoib"] = metric(
+        round(totals["ipoib"] / totals["hatrpc_function"], 3),
+        unit="x", better="higher")
+    emit_bench("fig17", "tpch", metrics,
+               config={"modes": MODES, "sf": SF, "n_workers": 9, "seed": 1})
 
     # Overall speedup in the paper's ballpark (1.27x total; we accept a
     # wide band since the compute/comm split depends on the cost model).

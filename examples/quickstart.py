@@ -12,9 +12,18 @@ This walks the whole HatRPC pipeline on a two-node simulated cluster:
 4. make calls and inspect what the hints decided.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace trace.json --metrics
+
+``--trace PATH`` records per-call spans and writes them as Chrome
+``trace_event`` JSON -- open the file at https://ui.perfetto.dev.
+``--metrics`` installs a metrics registry and prints the snapshot.
 """
 
+import argparse
+
+from repro import obs
 from repro.core.runtime import HatRpcServer, hatrpc_connect, service_plan_of
+from repro.core.tracing import Tracer, attach_tracer
 from repro.idl import load_idl
 from repro.sim.units import us
 from repro.testbed import Testbed
@@ -55,7 +64,18 @@ class EchoHandler:
         self.delivered.append(token)
 
 
-def main():
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--trace", metavar="PATH", default=None,
+                    help="write a Perfetto-loadable trace_event JSON file")
+    ap.add_argument("--metrics", action="store_true",
+                    help="install a metrics registry and print its snapshot")
+    args = ap.parse_args(argv)
+
+    # Metrics must be installed BEFORE the testbed/engine are built:
+    # components capture their instruments once, at construction.
+    registry = obs.install() if args.metrics else None
+
     # -- 1+2: compile the IDL into an importable module --------------------
     gen = load_idl(IDL, "echo_gen")
     print("generated symbols:",
@@ -75,9 +95,13 @@ def main():
 
     # -- 4: client calls (coroutines under the simulator) -------------------
     out = {}
+    tracer = Tracer() if args.trace else None
 
     def client():
         echo = yield from hatrpc_connect(tb.node(1), tb.node(0), gen, "Echo")
+        if tracer is not None:
+            attach_tracer(echo._hatrpc.engine, tracer)
+        out["engine"] = echo._hatrpc.engine
         out["ping"] = yield from echo.Ping("hello HatRPC")
         t0 = tb.sim.now
         yield from echo.Ping("timed")
@@ -94,6 +118,16 @@ def main():
           "(simulated, over RDMA Direct-WriteIMM)")
     print(f"Post roundtrip ok: {out['post']}")
     print(f"Oneway delivered:  {handler.delivered}")
+
+    if tracer is not None:
+        obs.export_chrome_trace(args.trace, tracer=tracer,
+                                engine=out["engine"])
+        print(f"\nwrote {args.trace} ({len(tracer.spans)} spans) -- "
+              "open it at https://ui.perfetto.dev")
+    if registry is not None:
+        print("\nmetrics snapshot:")
+        print(obs.pretty(registry.snapshot()))
+        obs.uninstall()
 
 
 if __name__ == "__main__":

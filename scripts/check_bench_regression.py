@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Diff two BENCH_*.json files and fail (exit 1) on a perf regression.
+
+    python scripts/check_bench_regression.py BENCH_BASELINE.json BENCH_pr.json
+    python scripts/check_bench_regression.py base.json new.json \\
+        --tolerance 0.10 --override 'latency_us.*=0.25' --override 'tput*=0.15'
+
+Records are matched by (figure, name, scale).  Metrics are compared in the
+direction declared by the baseline metric's ``better`` field:
+
+* ``lower``  -- regression when ``new > base * (1 + tol)``;
+* ``higher`` -- regression when ``new < base * (1 - tol)``;
+* ``none``   -- informational, never gated.
+
+``--override GLOB=TOL`` sets a per-metric tolerance (fnmatch glob over the
+metric name, first match wins; may be repeated).  Records whose
+``config_hash`` changed are reported but not compared -- a deliberate
+config change is not a regression.  Exit codes: 0 ok, 1 regression,
+2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.report import BenchRecord, load_bench  # noqa: E402
+
+OK, REGRESSED, IMPROVED, SKIPPED = "ok", "REGRESSED", "improved", "skipped"
+
+
+def parse_overrides(items: List[str]) -> List[Tuple[str, float]]:
+    out = []
+    for item in items:
+        if "=" not in item:
+            raise ValueError(f"--override needs GLOB=TOL, got {item!r}")
+        glob, _, tol = item.rpartition("=")
+        out.append((glob, float(tol)))
+    return out
+
+
+def tolerance_for(name: str, default: float,
+                  overrides: List[Tuple[str, float]]) -> float:
+    for glob, tol in overrides:
+        if fnmatch(name, glob):
+            return tol
+    return default
+
+
+def compare_metric(name: str, base: Dict, new: Dict, tol: float) -> str:
+    better = base.get("better", "lower")
+    bv, nv = base["value"], new["value"]
+    if better == "none":
+        return SKIPPED
+    if bv == 0:
+        # No meaningful relative comparison against a zero baseline.
+        return OK if nv == 0 else SKIPPED
+    if better == "lower":
+        if nv > bv * (1 + tol):
+            return REGRESSED
+        if nv < bv * (1 - tol):
+            return IMPROVED
+    else:  # higher
+        if nv < bv * (1 - tol):
+            return REGRESSED
+        if nv > bv * (1 + tol):
+            return IMPROVED
+    return OK
+
+
+def diff(baseline: List[BenchRecord], current: List[BenchRecord],
+         default_tol: float, overrides: List[Tuple[str, float]],
+         verbose: bool = False) -> Tuple[int, List[str]]:
+    """Returns (n_regressions, report_lines)."""
+    lines: List[str] = []
+    base_by_key = {r.key: r for r in baseline}
+    cur_by_key = {r.key: r for r in current}
+    regressions = 0
+    compared = improved = 0
+
+    for key in sorted(base_by_key):
+        rid = "/".join(key)
+        if key not in cur_by_key:
+            lines.append(f"WARNING {rid}: missing from current run")
+            continue
+        base, cur = base_by_key[key], cur_by_key[key]
+        if base.config_hash != cur.config_hash:
+            lines.append(f"NOTE    {rid}: config changed "
+                         f"({base.config_hash} -> {cur.config_hash}); "
+                         "not compared")
+            continue
+        for mname in sorted(base.metrics):
+            if mname not in cur.metrics:
+                lines.append(f"WARNING {rid}: metric {mname} missing")
+                continue
+            tol = tolerance_for(mname, default_tol, overrides)
+            verdict = compare_metric(mname, base.metrics[mname],
+                                     cur.metrics[mname], tol)
+            if verdict == SKIPPED:
+                continue
+            compared += 1
+            bv = base.metrics[mname]["value"]
+            nv = cur.metrics[mname]["value"]
+            delta = (nv - bv) / bv * 100 if bv else 0.0
+            if verdict == REGRESSED:
+                regressions += 1
+                lines.append(
+                    f"REGRESSED {rid} {mname}: {bv:g} -> {nv:g} "
+                    f"({delta:+.1f}%, tol ±{tol * 100:.0f}%)")
+            elif verdict == IMPROVED:
+                improved += 1
+                if verbose:
+                    lines.append(f"improved  {rid} {mname}: "
+                                 f"{bv:g} -> {nv:g} ({delta:+.1f}%)")
+            elif verbose:
+                lines.append(f"ok        {rid} {mname}: "
+                             f"{bv:g} -> {nv:g} ({delta:+.1f}%)")
+    for key in sorted(set(cur_by_key) - set(base_by_key)):
+        lines.append(f"NOTE    {'/'.join(key)}: new record "
+                     "(no baseline); consider refreshing the baseline")
+    lines.append(f"compared {compared} metrics: {regressions} regressed, "
+                 f"{improved} improved")
+    return regressions, lines
+
+
+def main(argv: List[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="Gate on benchmark regressions between two BENCH files")
+    ap.add_argument("baseline", help="committed BENCH_BASELINE.json")
+    ap.add_argument("current", help="freshly generated BENCH file")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="default relative tolerance (default 0.10 = 10%%)")
+    ap.add_argument("--override", action="append", default=[],
+                    metavar="GLOB=TOL",
+                    help="per-metric tolerance override (repeatable)")
+    ap.add_argument("--verbose", action="store_true",
+                    help="also print non-regressed comparisons")
+    args = ap.parse_args(argv)
+
+    try:
+        overrides = parse_overrides(args.override)
+        baseline = load_bench(args.baseline)
+        current = load_bench(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    regressions, lines = diff(baseline, current, args.tolerance, overrides,
+                              verbose=args.verbose)
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\nFAIL: {regressions} metric(s) regressed beyond tolerance")
+        return 1
+    print("\nPASS: no regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

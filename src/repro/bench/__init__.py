@@ -6,11 +6,29 @@ from repro.bench.proto_runner import (
     ProtoBenchSpec,
     run_protocol_bench,
 )
+from repro.bench.report import (
+    SINK,
+    BenchRecord,
+    BenchSink,
+    config_hash,
+    default_bench_path,
+    load_bench,
+    metric,
+    write_bench,
+)
 
 __all__ = [
+    "BenchRecord",
     "BenchResult",
+    "BenchSink",
     "LatencyStats",
     "ProtoBenchSpec",
+    "SINK",
+    "config_hash",
+    "default_bench_path",
+    "load_bench",
+    "metric",
     "percentile",
     "run_protocol_bench",
+    "write_bench",
 ]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 __all__ = ["LatencyStats", "percentile"]
 
@@ -22,12 +22,21 @@ def percentile(samples: List[float], p: float) -> float:
 
 @dataclass
 class LatencyStats:
-    """Accumulates per-call latencies."""
+    """Accumulates per-call latencies.
+
+    Every accessor raises ``ValueError("no samples")`` on an empty
+    accumulator (one uniform contract -- no bare ``ZeroDivisionError`` from
+    ``mean`` or bare ``ValueError`` from the builtins in ``min``/``max``).
+    """
 
     samples: List[float] = field(default_factory=list)
 
     def record(self, latency: float) -> None:
         self.samples.append(latency)
+
+    def _require_samples(self) -> None:
+        if not self.samples:
+            raise ValueError("no samples")
 
     @property
     def count(self) -> int:
@@ -35,6 +44,7 @@ class LatencyStats:
 
     @property
     def mean(self) -> float:
+        self._require_samples()
         return sum(self.samples) / len(self.samples)
 
     @property
@@ -51,12 +61,26 @@ class LatencyStats:
 
     @property
     def min(self) -> float:
+        self._require_samples()
         return min(self.samples)
 
     @property
     def max(self) -> float:
+        self._require_samples()
         return max(self.samples)
 
     def merge(self, other: "LatencyStats") -> "LatencyStats":
-        self.samples.extend(other.samples)
-        return self
+        """Return a NEW LatencyStats holding both sample sets.
+
+        Neither operand is mutated (the previous in-place contract made
+        ``a.merge(b)`` silently alias growth onto ``a``).
+        """
+        return LatencyStats(self.samples + other.samples)
+
+    def summary(self) -> Dict[str, float]:
+        """Snapshot dict for reports; ``{"count": 0}`` when empty."""
+        if not self.samples:
+            return {"count": 0}
+        return {"count": self.count, "mean": self.mean, "p50": self.p50,
+                "p95": self.p95, "p99": self.p99, "min": self.min,
+                "max": self.max}

@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.hints import ResolvedHints, resolve_hints
 from repro.core.resilience import CircuitBreaker, RetryPolicy
 from repro.core.selector import (SMALL_MESSAGE_THRESHOLD, ProtocolChoice,
@@ -137,6 +138,15 @@ def build_service_plan(service: str,
         routes[fn] = {"key": key, "resp_hint": server.payload_size,
                       "server": server, "client": client, "choice": wire}
 
+    reg = obs.current()
+    if reg is not None:
+        # Selector decision counts: one per routed function (plan build is
+        # cold path, so the registry lookup here is fine).
+        for r in routes.values():
+            choice = r["choice"]
+            reg.counter(f"selector.{choice.protocol or 'tcp'}."
+                        f"{choice.poll_mode.value}").inc()
+
     channels = []
     key_to_index = {}
     for i, (key, entry) in enumerate(sorted(keyed.items(),
@@ -182,6 +192,9 @@ def pinned_plan(service: str, function_names: Sequence[str], protocol: str,
     from repro.core.selector import ProtocolChoice
     choice = ProtocolChoice(transport, channel.protocol, poll_mode,
                             "pinned baseline")
+    reg = obs.current()
+    if reg is not None:
+        reg.counter("selector.pinned").inc(len(function_names))
     routes = {fn: FunctionRoute(channel=0, resp_hint=resp_hint,
                                 server_hints=ResolvedHints.from_mapping({}),
                                 client_hints=ResolvedHints.from_mapping({}),
@@ -248,6 +261,19 @@ class HatRpcEngine:
         self._connected = False
         self._closed = False
         self.calls_routed = 0
+        # -- observability (instruments captured once; None = disabled, so
+        # the per-call cost of a disabled run is one attribute check) --
+        self._obs = obs.current()
+        self._chan_metrics: Dict[int, tuple] = {}
+        if self._obs is not None:
+            # FaultCounters fold in as one probe group; groups with the
+            # same name sum across engines at snapshot time.
+            self._obs.probe("faults", self.faults.as_dict)
+            self._m_calls = self._obs.counter("engine.calls")
+            self._m_latency = self._obs.histogram("engine.call_latency")
+        else:
+            self._m_calls = None
+            self._m_latency = None
 
     # -- lifecycle -----------------------------------------------------------
     def connect(self, remote_node, eager: bool = False):
@@ -303,6 +329,15 @@ class HatRpcEngine:
             chan = RdmaChannel(self.node, ch)
             yield from chan.open(self._remote_node, sid)
         self._channels[ch.index] = chan
+        if self._obs is not None and ch.index not in self._chan_metrics:
+            proto = ch.protocol or "tcp"
+            self._chan_metrics[ch.index] = (
+                self._obs.counter(f"engine.{proto}.ops"),
+                self._obs.counter(f"engine.{proto}.req_bytes"),
+                self._obs.counter(f"engine.{proto}.resp_bytes"),
+                self._obs.gauge(f"engine.ch{ch.index}.inflight"),
+            )
+            self._obs.counter("engine.channels_opened").inc()
         return chan
 
     def _breaker(self, idx: int) -> CircuitBreaker:
@@ -408,12 +443,14 @@ class HatRpcEngine:
                 f"refusing to re-send non-idempotent {fn_name} seqid={seqid};"
                 " re-issue the call under a fresh seqid")
         last_exc: Optional[Exception] = None
+        t_start = self.node.sim.now
         for attempt in range(policy.max_attempts):
             idx = self._pick_channel(route, len(message))
             if idx is None:
                 break  # every candidate's breaker is open
             breaker = self._breaker(idx)
             sent = False
+            inflight = None
             try:
                 chan = self._channels.get(idx)
                 if chan is None:
@@ -423,10 +460,17 @@ class HatRpcEngine:
                 if seqid is not None:
                     self._sent_seqids.add(call_key)
                 self._note_routing(fn_name, route, idx)
+                if self._obs is not None:
+                    m = self._chan_metrics.get(idx)
+                    if m is not None:
+                        inflight = m[3]
+                        inflight.inc()
                 resp = yield from chan.call(message,
                                             resp_hint=route.resp_hint,
                                             oneway=oneway)
             except _CHANNEL_ERRORS as exc:
+                if inflight is not None:
+                    inflight.dec()
                 last_exc = self._map_error(exc)
                 breaker.record_failure()
                 self.faults.channel_failures += 1
@@ -447,6 +491,16 @@ class HatRpcEngine:
                 continue
             breaker.record_success()
             self.calls_routed += 1
+            if self._obs is not None:
+                if inflight is not None:
+                    inflight.dec()
+                self._m_calls.inc()
+                self._m_latency.record(self.node.sim.now - t_start)
+                m = self._chan_metrics.get(idx)
+                if m is not None:
+                    m[0].inc()
+                    m[1].inc(len(message))
+                    m[2].inc(len(resp or b""))
             return resp
         if last_exc is not None:
             raise last_exc

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.core.engine import ServicePlan
 from repro.core.hints import resolve_hints
 from repro.core.runtime import HatRpcServer
@@ -22,22 +23,40 @@ class KVHandler:
 
     def __init__(self, backend: LmdbBackend):
         self.backend = backend
+        # Per-op instruments, captured once (None = metrics disabled).
+        reg = obs.current()
+        if reg is not None:
+            self._m_ops = {op: reg.counter(f"hatkv.{op}")
+                           for op in ("get", "put", "multi_get",
+                                      "multi_put", "scan")}
+        else:
+            self._m_ops = None
 
     def Get(self, key):
+        if self._m_ops is not None:
+            self._m_ops["get"].inc()
         value = yield from self.backend.get(key)
         return value if value is not None else b""
 
     def Put(self, key, value):
+        if self._m_ops is not None:
+            self._m_ops["put"].inc()
         yield from self.backend.put(key, value)
 
     def MultiGet(self, keys):
+        if self._m_ops is not None:
+            self._m_ops["multi_get"].inc()
         values = yield from self.backend.multi_get(keys)
         return [v if v is not None else b"" for v in values]
 
     def MultiPut(self, keys, values):
+        if self._m_ops is not None:
+            self._m_ops["multi_put"].inc()
         yield from self.backend.multi_put(keys, values)
 
     def Scan(self, start_key, count):
+        if self._m_ops is not None:
+            self._m_ops["scan"].inc()
         rows = yield from self.backend.scan(start_key, count)
         # flatten to [k1, v1, k2, v2, ...] (the IDL carries one list)
         out = []

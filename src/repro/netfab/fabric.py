@@ -36,6 +36,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.sim.core import Simulator
 from repro.sim.cluster import Cluster, Node
 from repro.sim.sync import Resource
@@ -125,6 +126,21 @@ class Fabric:
         self.ports: Dict[str, Port] = {
             node.name: Port(sim, node, self.params) for node in cluster
         }
+        reg = obs.current()
+        if reg is not None:
+            reg.probe("netfab", self._probe_totals)
+
+    def _probe_totals(self) -> Dict[str, int]:
+        """Fabric-wide port counter totals (read lazily at snapshot time)."""
+        totals = {"bytes_sent": 0, "bytes_received": 0, "messages_sent": 0,
+                  "drops": 0, "faults_seen": 0}
+        for port in self.ports.values():
+            totals["bytes_sent"] += port.bytes_sent
+            totals["bytes_received"] += port.bytes_received
+            totals["messages_sent"] += port.messages_sent
+            totals["drops"] += port.drops
+            totals["faults_seen"] += port.faults_seen
+        return totals
 
     def port_of(self, node: Node) -> Port:
         return self.ports[node.name]

@@ -1,0 +1,85 @@
+"""Observability: metrics registry + Chrome-trace timeline export.
+
+Two halves:
+
+* :mod:`repro.obs.metrics` -- a cheap :class:`MetricsRegistry` (counters,
+  gauges, log-bucketed histograms, pull probes) that every runtime layer
+  reports into **when one is installed**;
+* :mod:`repro.obs.timeline` -- exports ``CallSpan``s and fault-trace
+  events as Chrome ``trace_event`` JSON, viewable in Perfetto.
+
+Install pattern (mirrors ``Tracer``'s "zero overhead when absent" rule)::
+
+    from repro import obs
+
+    reg = obs.install()           # BEFORE building the testbed/engine
+    ...  run the workload ...
+    print(obs.pretty(reg.snapshot()))
+    obs.uninstall()
+
+Components capture their instruments once, at construction, from
+:func:`current`; with no registry installed the hot path pays exactly one
+``is not None`` attribute check per instrumented site.  Installing a
+registry *after* components are built therefore has no effect on them --
+install first, or use the :func:`installed` context manager around the
+whole scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timeline import TimelineExporter, export_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TimelineExporter",
+    "current",
+    "export_chrome_trace",
+    "install",
+    "installed",
+    "pretty",
+    "uninstall",
+]
+
+_current: Optional[MetricsRegistry] = None
+
+
+def install(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install (and return) the process-wide registry."""
+    global _current
+    _current = registry if registry is not None else MetricsRegistry()
+    return _current
+
+
+def uninstall() -> None:
+    """Remove the installed registry (metrics go back to zero-cost off)."""
+    global _current
+    _current = None
+
+
+def current() -> Optional[MetricsRegistry]:
+    """The installed registry, or None.  Components call this ONCE at
+    construction and cache the result -- never per call."""
+    return _current
+
+
+@contextmanager
+def installed(registry: Optional[MetricsRegistry] = None):
+    """``with obs.installed() as reg:`` -- scoped install/uninstall."""
+    reg = install(registry)
+    try:
+        yield reg
+    finally:
+        uninstall()
+
+
+def pretty(snapshot: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :meth:`MetricsRegistry.snapshot`."""
+    return json.dumps(snapshot, indent=2, sort_keys=True, default=str)

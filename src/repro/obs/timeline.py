@@ -1,0 +1,160 @@
+"""Timeline export: CallSpans + sim-clock events -> Chrome ``trace_event``.
+
+The exporter turns what the runtime already records (the tracer's
+:class:`~repro.core.tracing.CallSpan` list, the engine's replayable
+``fault_trace``) into the Chrome/Perfetto ``trace_event`` JSON format
+(load the file at https://ui.perfetto.dev or ``chrome://tracing``):
+
+* one *complete* event (``ph: "X"``) per RPC span -- name = function,
+  track (``tid``) = channel, args = protocol/transport/sizes;
+* one *instant* event (``ph: "i"``) per fault-trace entry (retries,
+  failovers, breaker transitions, timeouts);
+* optional *counter* events (``ph: "C"``) for time-series gauges.
+
+Timestamps: the simulator clock is seconds; ``trace_event`` wants
+microseconds, so every ``ts``/``dur`` is scaled by 1e6.  Events carry
+``pid``/``tid`` so multi-node runs can map nodes onto processes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TimelineExporter", "export_chrome_trace"]
+
+#: sim seconds -> trace_event microseconds
+_US = 1e6
+
+
+class TimelineExporter:
+    """Accumulates trace events; write with :meth:`write`."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self._named: set = set()
+
+    # -- primitives --------------------------------------------------------
+    def add_complete(self, name: str, start: float, duration: float,
+                     pid: int = 0, tid: int = 0, cat: str = "rpc",
+                     args: Optional[Dict[str, Any]] = None) -> None:
+        """One span: ``start``/``duration`` in simulated seconds."""
+        ev: Dict[str, Any] = {
+            "name": name, "cat": cat, "ph": "X",
+            "ts": start * _US, "dur": duration * _US,
+            "pid": pid, "tid": tid,
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def add_instant(self, name: str, ts: float, pid: int = 0, tid: int = 0,
+                    cat: str = "event", scope: str = "t",
+                    args: Optional[Dict[str, Any]] = None) -> None:
+        ev: Dict[str, Any] = {
+            "name": name, "cat": cat, "ph": "i", "s": scope,
+            "ts": ts * _US, "pid": pid, "tid": tid,
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def add_counter(self, name: str, ts: float,
+                    values: Dict[str, float], pid: int = 0) -> None:
+        self.events.append({
+            "name": name, "ph": "C", "ts": ts * _US, "pid": pid,
+            "args": dict(values),
+        })
+
+    def name_process(self, pid: int, name: str) -> None:
+        """Perfetto metadata: label a pid lane."""
+        key = ("process", pid)
+        if key in self._named:
+            return
+        self._named.add(key)
+        self.events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+
+    def name_thread(self, pid: int, tid: int, name: str) -> None:
+        key = ("thread", pid, tid)
+        if key in self._named:
+            return
+        self._named.add(key)
+        self.events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+
+    # -- runtime adapters --------------------------------------------------
+    def add_call_spans(self, spans: Iterable[Any], pid: int = 0,
+                       process_name: str = "hatrpc-client") -> int:
+        """Ingest :class:`~repro.core.tracing.CallSpan`-shaped objects.
+
+        One track per channel index, labeled with the channel's protocol.
+        Returns the number of events added.
+        """
+        self.name_process(pid, process_name)
+        n = 0
+        for span in spans:
+            tid = span.channel if span.channel >= 0 else 999
+            self.name_thread(
+                pid, tid,
+                f"ch{span.channel} {span.protocol or span.transport}")
+            self.add_complete(
+                span.function, span.start, span.end - span.start,
+                pid=pid, tid=tid, cat=span.protocol or span.transport
+                or "rpc",
+                args={"protocol": span.protocol,
+                      "transport": span.transport,
+                      "request_bytes": span.request_bytes,
+                      "response_bytes": span.response_bytes})
+            n += 1
+        return n
+
+    def add_fault_trace(self, trace: Iterable[Tuple], pid: int = 0) -> int:
+        """Ingest engine ``fault_trace`` tuples
+        ``(sim_time, kind, function, channel, detail)`` as instants."""
+        n = 0
+        for t, kind, fn, channel, detail in trace:
+            tid = channel if channel >= 0 else 999
+            self.add_instant(kind, t, pid=pid, tid=tid, cat="fault",
+                             args={"function": fn, "channel": channel,
+                                   "detail": detail})
+            n += 1
+        return n
+
+    # -- output ------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"traceEvents": list(self.events),
+                "displayTimeUnit": "ns"}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    def write(self, path) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f)
+
+
+def export_chrome_trace(path, tracer=None, engine=None, spans=None,
+                        fault_trace=None, pid: int = 0) -> TimelineExporter:
+    """One-call export: spans and/or fault events -> Perfetto JSON at
+    ``path``.
+
+    Pass any of a ``tracer`` (its ``.spans`` are used), an ``engine`` (its
+    ``.fault_trace`` is used), or raw ``spans`` / ``fault_trace``
+    sequences.  Returns the exporter (with ``path`` already written).
+    """
+    ex = TimelineExporter()
+    if tracer is not None:
+        ex.add_call_spans(tracer.spans, pid=pid)
+    if spans is not None:
+        ex.add_call_spans(spans, pid=pid)
+    if engine is not None:
+        ex.add_fault_trace(engine.fault_trace, pid=pid)
+    if fault_trace is not None:
+        ex.add_fault_trace(fault_trace, pid=pid)
+    ex.write(path)
+    return ex

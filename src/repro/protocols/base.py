@@ -24,6 +24,7 @@ import struct
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Type
 
+from repro import obs
 from repro.sim.units import KiB
 from repro.verbs.cq import CQ, PollMode
 from repro.verbs.device import Device
@@ -99,6 +100,9 @@ def check_wc(wc: WC) -> WC:
 class RpcClient:
     """Base class for protocol clients."""
 
+    #: wire-protocol name, stamped by :func:`register_protocol`
+    proto_name = "?"
+
     def __init__(self, device: Device, cfg: Optional[ProtoConfig] = None):
         self.device = device
         self.sim = device.sim
@@ -106,6 +110,22 @@ class RpcClient:
         self.pd = device.alloc_pd()
         self._in_call = False
         self.calls = 0
+        # Per-protocol instruments, captured once (None = metrics disabled;
+        # the call() hot path then pays a single attribute check).
+        reg = obs.current()
+        if reg is not None:
+            name = self.proto_name
+            self._m_ops = reg.counter(f"proto.{name}.ops")
+            self._m_req_bytes = reg.counter(f"proto.{name}.req_bytes")
+            self._m_resp_bytes = reg.counter(f"proto.{name}.resp_bytes")
+            self._m_doorbells = reg.counter(f"proto.{name}.doorbells")
+            self._m_latency = reg.histogram(f"proto.{name}.latency")
+        else:
+            self._m_ops = None
+            self._m_req_bytes = None
+            self._m_resp_bytes = None
+            self._m_doorbells = None
+            self._m_latency = None
 
     # subclasses implement:
     def _setup_blob(self) -> bytes:
@@ -148,11 +168,22 @@ class RpcClient:
                 f"request of {len(request)} bytes exceeds max_msg "
                 f"{self.cfg.max_msg}")
         self._in_call = True
+        if self._m_ops is not None:
+            t_start = self.sim.now
+            qp = getattr(self, "qp", None)
+            db_start = qp.doorbells if qp is not None else 0
         try:
             resp = yield from self._call(request, resp_hint)
         finally:
             self._in_call = False
         self.calls += 1
+        if self._m_ops is not None:
+            self._m_ops.inc()
+            self._m_req_bytes.inc(len(request))
+            self._m_resp_bytes.inc(len(resp))
+            self._m_latency.record(self.sim.now - t_start)
+            if qp is not None:
+                self._m_doorbells.inc(qp.doorbells - db_start)
         return resp
 
     def _wait(self, cq: CQ, max_wc: int = 16):
@@ -182,6 +213,9 @@ class RpcServer:
 
     endpoint_cls: Type = None  # type: ignore[assignment]
 
+    #: wire-protocol name, stamped by :func:`register_protocol`
+    proto_name = "?"
+
     def __init__(self, device: Device, service_id: int,
                  handler: Callable, cfg: Optional[ProtoConfig] = None):
         self.device = device
@@ -196,6 +230,9 @@ class RpcServer:
         self.requests = 0
         self.teardowns = 0
         self._stopped = False
+        reg = obs.current()
+        self._m_requests = (reg.counter(f"proto.{self.proto_name}.server_requests")
+                            if reg is not None else None)
 
     def start(self) -> "RpcServer":
         self.listener = cm.listen(self.device, self.service_id)
@@ -251,6 +288,8 @@ class RpcServer:
                 self._teardown(endpoint)
                 return
             self.requests += 1
+            if self._m_requests is not None:
+                self._m_requests.inc()
 
     def _teardown(self, endpoint) -> None:
         """Release a dead connection's QP (idempotent)."""
@@ -278,6 +317,8 @@ def register_protocol(name: str, client_cls: Type[RpcClient],
                       server_cls: Type[RpcServer]) -> None:
     if name in _REGISTRY:
         raise ValueError(f"protocol {name!r} already registered")
+    client_cls.proto_name = name
+    server_cls.proto_name = name
     _REGISTRY[name] = (client_cls, server_cls)
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro import obs
 from repro.sim.core import Simulator
 from repro.sim.sync import Store
 from repro.thrift.errors import TTransportException
@@ -33,6 +34,14 @@ class TServer:
         self.connections = 0
         self.requests = 0
         self._stopped = False
+        # Instruments captured once (None = metrics disabled).
+        reg = obs.current()
+        if reg is not None:
+            self._m_requests = reg.counter("thrift.requests")
+            self._m_connections = reg.counter("thrift.connections")
+        else:
+            self._m_requests = None
+            self._m_connections = None
 
     def serve(self) -> "TServer":
         """Start the accept loop (non-blocking; returns immediately)."""
@@ -50,6 +59,8 @@ class TServer:
     def _handle_connection(self, trans):
         """Coroutine: serve one connection until EOF."""
         prot = self.protocol_factory(trans)
+        if self._m_connections is not None:
+            self._m_connections.inc()
         while not self._stopped:
             try:
                 yield from trans.ready()
@@ -60,6 +71,8 @@ class TServer:
             if replied:
                 yield from trans.flush()
             self.requests += 1
+            if self._m_requests is not None:
+                self._m_requests.inc()
 
 
 class TSimpleServer(TServer):

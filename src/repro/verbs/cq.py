@@ -18,6 +18,7 @@ import enum
 from collections import deque
 from typing import TYPE_CHECKING, Deque, List
 
+from repro import obs
 from repro.sim.core import Simulator
 from repro.sim.sync import Gate
 from repro.verbs.errors import CQOverflowError
@@ -60,6 +61,22 @@ class CQ:
         self._gate = Gate(sim)  # fires on every push; used by busy pollers
         self._armed = False
         self.completions_total = 0
+        # Instruments captured once at construction (None = metrics off:
+        # the push/wait hot paths pay a single attribute check).
+        reg = obs.current()
+        if reg is not None:
+            self._m_completions = reg.counter("cq.completions")
+            self._m_wait = {PollMode.BUSY: reg.counter("cq.wait_busy"),
+                            PollMode.EVENT: reg.counter("cq.wait_event")}
+            self._m_occupancy = {
+                PollMode.BUSY: reg.histogram("cq.busy.occupancy",
+                                             lowest=1.0),
+                PollMode.EVENT: reg.histogram("cq.event.occupancy",
+                                              lowest=1.0)}
+        else:
+            self._m_completions = None
+            self._m_wait = None
+            self._m_occupancy = None
 
     # -- NIC side -----------------------------------------------------------
     def push(self, wc: WC) -> None:
@@ -69,6 +86,8 @@ class CQ:
                 "generating completions faster than it polls them")
         self._q.append(wc)
         self.completions_total += 1
+        if self._m_completions is not None:
+            self._m_completions.inc()
         self._gate.fire()
         if self._armed:
             self._armed = False
@@ -119,6 +138,11 @@ class CQ:
 
     def wait(self, mode: PollMode, max_wc: int = 16):
         """Coroutine: poll under the given discipline."""
+        if self._m_wait is not None:
+            # Poll-mode occupancy: how deep the CQ already is when a
+            # poller arrives (0 = it will block/spin for the completion).
+            self._m_wait[mode].inc()
+            self._m_occupancy[mode].record(float(len(self._q)))
         if mode is PollMode.BUSY:
             return (yield from self.wait_busy(max_wc))
         return (yield from self.wait_event(max_wc))

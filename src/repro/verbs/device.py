@@ -5,6 +5,7 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro import obs
 from repro.netfab.fabric import Fabric, Port
 from repro.sim.cluster import Node
 from repro.sim.core import Simulator
@@ -103,6 +104,14 @@ class Device:
         self.registered_bytes = 0
         self.doorbells = 0
         self.wrs_posted = 0
+        # Metrics instruments, captured once (None = metrics disabled).
+        reg = obs.current()
+        if reg is not None:
+            self._m_doorbells = reg.counter("verbs.doorbells")
+            self._m_wrs = reg.counter("verbs.wrs_posted")
+        else:
+            self._m_doorbells = None
+            self._m_wrs = None
         node.nic = self
         node.on_crash(self.fail)
 

@@ -86,6 +86,9 @@ class QP:
         self.state = QPState.RESET
         self.peer: Optional["QP"] = None
         self._recv_queue: Deque[RecvWR] = deque()
+        #: doorbells rung by THIS QP -- lets a protocol endpoint attribute
+        #: device-global doorbell counts to itself (per-protocol metrics)
+        self.doorbells = 0
 
     # -- verbs calls (host side) ---------------------------------------------
     def post_recv(self, rwr: RecvWR):
@@ -116,6 +119,10 @@ class QP:
         yield self.device.node.cpu.compute(cpu_cost)
         self.device.doorbells += 1
         self.device.wrs_posted += len(chain)
+        self.doorbells += 1
+        if self.device._m_doorbells is not None:
+            self.device._m_doorbells.inc()
+            self.device._m_wrs.inc(len(chain))
         self.device.sim.process(self._nic_chain(chain),
                                 name=f"nic-qp{self.qp_num}")
 

@@ -1,0 +1,116 @@
+"""The CI perf gate: scripts/check_bench_regression.py pass/fail paths."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "check_bench_regression", ROOT / "scripts" / "check_bench_regression.py")
+cbr = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(cbr)
+
+from repro.bench.report import BenchRecord, metric, write_bench  # noqa: E402
+
+
+def bench_file(tmp_path, fname, lat=10.0, tput=100.0, config=None,
+               extra=None):
+    recs = [BenchRecord(
+        figure="fig04", name="latency", scale="small",
+        config=config or {"sizes": [64]},
+        metrics={"lat_us.busy.64": metric(lat, "us", "lower"),
+                 "tput_kops.64": metric(tput, "kops", "higher"),
+                 "cells": metric(42, "cells", "none")})]
+    if extra:
+        recs.extend(extra)
+    path = tmp_path / fname
+    write_bench(recs, str(path))
+    return str(path)
+
+
+def test_identical_files_pass(tmp_path, capsys):
+    base = bench_file(tmp_path, "base.json")
+    cur = bench_file(tmp_path, "cur.json")
+    assert cbr.main([base, cur]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_degraded_latency_fails(tmp_path, capsys):
+    base = bench_file(tmp_path, "base.json", lat=10.0)
+    cur = bench_file(tmp_path, "cur.json", lat=12.0)   # +20% > 10% tol
+    assert cbr.main([base, cur]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out and "lat_us.busy.64" in out
+
+
+def test_degraded_throughput_fails(tmp_path):
+    base = bench_file(tmp_path, "base.json", tput=100.0)
+    cur = bench_file(tmp_path, "cur.json", tput=80.0)  # -20% > 10% tol
+    assert cbr.main([base, cur]) == 1
+
+
+def test_within_tolerance_passes(tmp_path):
+    base = bench_file(tmp_path, "base.json", lat=10.0, tput=100.0)
+    cur = bench_file(tmp_path, "cur.json", lat=10.5, tput=96.0)
+    assert cbr.main([base, cur]) == 0
+
+
+def test_override_tolerance(tmp_path):
+    base = bench_file(tmp_path, "base.json", lat=10.0)
+    cur = bench_file(tmp_path, "cur.json", lat=12.0)
+    # A 25% latency tolerance forgives the 20% slip.
+    assert cbr.main([base, cur, "--override", "lat_us.*=0.25"]) == 0
+    # But tightening the default to 5% keeps other metrics gated.
+    assert cbr.main([base, cur, "--tolerance", "0.05",
+                     "--override", "lat_us.*=0.25"]) == 0
+
+
+def test_informational_metrics_never_gate(tmp_path):
+    base = bench_file(tmp_path, "base.json")
+    cur_path = tmp_path / "cur.json"
+    recs = [BenchRecord(
+        figure="fig04", name="latency", scale="small",
+        config={"sizes": [64]},
+        metrics={"lat_us.busy.64": metric(10.0, "us", "lower"),
+                 "tput_kops.64": metric(100.0, "kops", "higher"),
+                 "cells": metric(9999, "cells", "none")})]
+    write_bench(recs, str(cur_path))
+    assert cbr.main([base, str(cur_path)]) == 0
+
+
+def test_config_change_skips_comparison(tmp_path, capsys):
+    base = bench_file(tmp_path, "base.json", lat=10.0,
+                      config={"sizes": [64]})
+    cur = bench_file(tmp_path, "cur.json", lat=99.0,
+                     config={"sizes": [64, 512]})
+    assert cbr.main([base, cur]) == 0
+    assert "config changed" in capsys.readouterr().out
+
+
+def test_missing_record_warns_but_passes(tmp_path, capsys):
+    extra = [BenchRecord(figure="fig05", name="tput", scale="small",
+                         metrics={"m": metric(1.0)})]
+    base = bench_file(tmp_path, "base.json", extra=extra)
+    cur = bench_file(tmp_path, "cur.json")
+    assert cbr.main([base, cur]) == 0
+    assert "missing from current run" in capsys.readouterr().out
+
+
+def test_missing_file_is_usage_error(tmp_path):
+    base = bench_file(tmp_path, "base.json")
+    assert cbr.main([base, str(tmp_path / "nope.json")]) == 2
+
+
+def test_invalid_json_is_usage_error(tmp_path):
+    base = bench_file(tmp_path, "base.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    assert cbr.main([base, str(bad)]) == 2
+
+
+def test_bad_override_is_usage_error(tmp_path):
+    base = bench_file(tmp_path, "base.json")
+    assert cbr.main([base, base, "--override", "no-equals"]) == 2

@@ -1,0 +1,76 @@
+"""Timeline exporter: valid Chrome trace_event JSON."""
+
+import json
+
+from repro.core.tracing import CallSpan
+from repro.obs.timeline import TimelineExporter, export_chrome_trace
+
+
+def _span(fn="Echo", ch=0, start=1e-6, end=4e-6):
+    return CallSpan(function=fn, channel=ch, protocol="direct_writeimm",
+                    transport="hatrpc", request_bytes=64, response_bytes=64,
+                    start=start, end=end)
+
+
+def test_complete_event_fields():
+    ex = TimelineExporter()
+    ex.add_complete("Echo", start=2e-6, duration=3e-6, pid=1, tid=7)
+    (ev,) = ex.events
+    assert ev["ph"] == "X"
+    assert ev["ts"] == 2.0          # sim seconds -> microseconds
+    assert ev["dur"] == 3.0
+    assert ev["pid"] == 1 and ev["tid"] == 7
+    assert ev["name"] == "Echo"
+
+
+def test_instant_and_counter_events():
+    ex = TimelineExporter()
+    ex.add_instant("retry", ts=5e-6, tid=3)
+    ex.add_counter("inflight", ts=6e-6, values={"calls": 2})
+    inst, ctr = ex.events
+    assert inst["ph"] == "i" and inst["s"] == "t"
+    assert ctr["ph"] == "C" and ctr["args"] == {"calls": 2}
+
+
+def test_call_spans_create_labeled_tracks():
+    ex = TimelineExporter()
+    n = ex.add_call_spans([_span(ch=0), _span(ch=2)], pid=4)
+    assert n == 2
+    meta = [e for e in ex.events if e["ph"] == "M"]
+    names = {(e["name"], e.get("tid")) for e in meta}
+    assert ("process_name", 0) in names
+    assert ("thread_name", 0) in names and ("thread_name", 2) in names
+    spans = [e for e in ex.events if e["ph"] == "X"]
+    assert all(e["args"]["protocol"] == "direct_writeimm" for e in spans)
+
+
+def test_fault_trace_becomes_instants():
+    ex = TimelineExporter()
+    n = ex.add_fault_trace([(1e-5, "retry", "Echo", 0, "timeout"),
+                            (2e-5, "failover", "Echo", -1, "breaker")])
+    assert n == 2
+    evs = [e for e in ex.events if e["ph"] == "i"]
+    assert evs[0]["name"] == "retry" and evs[0]["tid"] == 0
+    assert evs[1]["tid"] == 999     # sentinel track for channel-less events
+
+
+def test_json_round_trip(tmp_path):
+    path = tmp_path / "trace.json"
+    ex = export_chrome_trace(path, spans=[_span()],
+                             fault_trace=[(5e-6, "retry", "Echo", 0, "x")])
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ns"
+    assert isinstance(doc["traceEvents"], list)
+    # Every event carries the required trace_event fields.
+    for ev in doc["traceEvents"]:
+        assert "ph" in ev and "pid" in ev and "name" in ev
+        if ev["ph"] != "M":
+            assert "ts" in ev
+    assert doc == ex.to_dict()
+
+
+def test_metadata_deduped():
+    ex = TimelineExporter()
+    ex.add_call_spans([_span(), _span()])
+    meta = [e for e in ex.events if e["ph"] == "M"]
+    assert len(meta) == 2  # one process_name + one thread_name
