@@ -14,14 +14,22 @@ This walks the whole HatRPC pipeline on a two-node simulated cluster:
 Run:  python examples/quickstart.py
       python examples/quickstart.py --trace trace.json --metrics
 
-``--trace PATH`` records per-call spans and writes them as Chrome
-``trace_event`` JSON -- open the file at https://ui.perfetto.dev.
-``--metrics`` installs a metrics registry and prints the snapshot.
+``--trace PATH`` installs the distributed-trace collector: every call gets
+a trace whose server-side handler/backend spans are children of the client
+call span (the context crosses the wire in the RPC framing).  The file is
+Chrome ``trace_event`` JSON -- open it at https://ui.perfetto.dev, where
+each simulated node is its own process track -- and one trace tree plus
+the hint-attribution table are printed to stdout.  ``--sample-rate`` keeps
+only that fraction of traces (faulted calls are always kept).
+``--metrics`` installs a metrics registry and prints the snapshot;
+``--metrics-out FILE`` additionally writes it in Prometheus text format
+(render both later with ``scripts/obs_dump.py``).
 """
 
 import argparse
 
 from repro import obs
+from repro.obs import trace as obstrace
 from repro.core.runtime import HatRpcServer, hatrpc_connect, service_plan_of
 from repro.core.tracing import Tracer, attach_tracer
 from repro.idl import load_idl
@@ -68,13 +76,22 @@ def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--trace", metavar="PATH", default=None,
                     help="write a Perfetto-loadable trace_event JSON file")
+    ap.add_argument("--sample-rate", type=float, default=1.0,
+                    help="head-sampling rate for --trace (default: 1.0; "
+                         "faulted calls are always kept)")
     ap.add_argument("--metrics", action="store_true",
                     help="install a metrics registry and print its snapshot")
+    ap.add_argument("--metrics-out", metavar="FILE", default=None,
+                    help="also write the snapshot as Prometheus text "
+                         "(implies --metrics)")
     args = ap.parse_args(argv)
 
-    # Metrics must be installed BEFORE the testbed/engine are built:
-    # components capture their instruments once, at construction.
-    registry = obs.install() if args.metrics else None
+    # Observability must be installed BEFORE the testbed/engine are built:
+    # components capture their registry/collector once, at construction.
+    registry = (obs.install() if args.metrics or args.metrics_out
+                else None)
+    collector = (obstrace.install(sample_rate=args.sample_rate)
+                 if args.trace else None)
 
     # -- 1+2: compile the IDL into an importable module --------------------
     gen = load_idl(IDL, "echo_gen")
@@ -121,12 +138,28 @@ def main(argv=None):
 
     if tracer is not None:
         obs.export_chrome_trace(args.trace, tracer=tracer,
-                                engine=out["engine"])
-        print(f"\nwrote {args.trace} ({len(tracer.spans)} spans) -- "
+                                engine=out["engine"], collector=collector)
+        n_spans = len(tracer.spans) + len(collector.spans)
+        print(f"\nwrote {args.trace} ({n_spans} spans) -- "
               "open it at https://ui.perfetto.dev")
+        traces = collector.traces()
+        if traces:
+            # Show one end-to-end tree: client call -> attempt -> stages,
+            # with the server's handler/backend spans nested under the
+            # attempt that carried their context over the wire.
+            first = next(iter(traces.values()))
+            print("\nfirst trace:")
+            print(obstrace.format_trace(first))
+            print("\nhint attribution (all traces):")
+            print(obs.attribution_table(collector.spans))
+        obstrace.uninstall()
     if registry is not None:
         print("\nmetrics snapshot:")
         print(obs.pretty(registry.snapshot()))
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as f:
+                f.write(obs.promtext_render(registry))
+            print(f"wrote {args.metrics_out} (Prometheus text format)")
         obs.uninstall()
 
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Render a recorded trace file as ASCII trees + a hint-attribution table.
+
+    python scripts/obs_dump.py TRACE.json
+    python scripts/obs_dump.py TRACE.json --metrics METRICS.prom --max-traces 5
+
+``TRACE.json`` is the Chrome ``trace_event`` file written by
+``obs.export_chrome_trace(..., collector=...)`` (e.g. by
+``examples/quickstart.py --trace``).  Span identity (trace/span/parent ids)
+rides in each event's ``args``, so the call trees -- client call spans with
+their server-side children -- are reconstructed from the file alone.
+
+``--metrics FILE`` additionally prints a Prometheus text-format metrics
+file (written by ``obs.promtext_render``) verbatim, so one invocation shows
+both pillars of a run's observability output.
+
+Exit codes: 0 ok, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.attribution import attribution_table, spans_from_chrome  # noqa: E402
+from repro.obs.trace import format_trace  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", metavar="TRACE.json",
+                    help="Chrome trace_event JSON with embedded span ids")
+    ap.add_argument("--metrics", metavar="FILE", default=None,
+                    help="also print this Prometheus text metrics file")
+    ap.add_argument("--max-traces", type=int, default=10,
+                    help="max trace trees to render (default: %(default)s)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(doc, list):            # bare trace_event array form
+        doc = {"traceEvents": doc}
+
+    spans = spans_from_chrome(doc)
+    n_events = len(doc.get("traceEvents", []))
+    by_trace = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+
+    print(f"{args.trace}: {n_events} events, {len(spans)} trace spans, "
+          f"{len(by_trace)} traces")
+
+    shown = 0
+    for trace_id, tspans in by_trace.items():
+        if shown >= args.max_traces:
+            print(f"\n... and {len(by_trace) - shown} more traces "
+                  f"(raise --max-traces to see them)")
+            break
+        print()
+        print(format_trace(tspans))
+        shown += 1
+
+    print()
+    print("hint attribution (per resolved hint tuple, per stage):")
+    print(attribution_table(spans))
+
+    if args.metrics is not None:
+        try:
+            text = Path(args.metrics).read_text()
+        except OSError as exc:
+            print(f"error: cannot read {args.metrics}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print()
+        print(f"metrics ({args.metrics}):")
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.obs import trace as obstrace
 from repro.core.hints import ResolvedHints, resolve_hints
 from repro.core.resilience import CircuitBreaker, RetryPolicy
 from repro.core.selector import (SMALL_MESSAGE_THRESHOLD, ProtocolChoice,
@@ -264,6 +265,7 @@ class HatRpcEngine:
         # -- observability (instruments captured once; None = disabled, so
         # the per-call cost of a disabled run is one attribute check) --
         self._obs = obs.current()
+        self._trc = obstrace.current()
         self._chan_metrics: Dict[int, tuple] = {}
         if self._obs is not None:
             # FaultCounters fold in as one probe group; groups with the
@@ -377,20 +379,33 @@ class HatRpcEngine:
 
     def _trace(self, kind: str, fn: str, channel: int, detail: str = ""
                ) -> None:
-        self.fault_trace.append((self.node.sim.now, kind, fn, channel,
-                                 detail))
+        now = self.node.sim.now
+        self.fault_trace.append((now, kind, fn, channel, detail))
+        if self._trc is not None:
+            # Mirror the fault event into the distributed trace of the call
+            # it happened inside (the context rides on the sim process; the
+            # breaker's on_open fires synchronously in the caller, so it is
+            # reachable here too).  Any fault marks the trace for
+            # always-commit -- except failback, which is good news.
+            ctx = obstrace.active(self.node.sim)
+            if ctx is not None:
+                ctx.event(kind, now, fault=(kind != "failback"),
+                          fn=fn, channel=channel, detail=detail)
 
     # -- the call path -------------------------------------------------------
     def call(self, fn_name: str, message: bytes, oneway: bool = False,
              seqid: Optional[int] = None,
-             deadline: Optional[float] = None):
+             deadline: Optional[float] = None,
+             ser_start: Optional[float] = None):
         """Coroutine: route one serialized message; returns response bytes.
 
         ``seqid`` (from the Thrift message header) gates idempotency: a
         non-idempotent (fn, seqid) pair is sent onto the wire at most once,
         ever -- retrying it requires the application to re-issue the call
         under a fresh seqid.  ``deadline`` overrides the engine default for
-        this call.
+        this call.  ``ser_start`` is the sim time serialization of
+        ``message`` began (TRdma records it at ``write_message_begin``);
+        it only feeds the "serialize" trace stage.
         """
         if not self._connected:
             raise RuntimeError("engine not connected")
@@ -398,13 +413,64 @@ class HatRpcEngine:
         if route is None:
             raise KeyError(f"function {fn_name!r} not in service plan "
                            f"for {self.plan.service!r}")
+        if self._trc is None:
+            return (yield from self._call_inner(fn_name, route, message,
+                                                oneway, seqid, deadline,
+                                                None))
+        # -- traced path: open the trace, ride it on the sim process ---------
+        sim = self.node.sim
+        ch = self.plan.channels[route.channel]
+        act = self._trc.start_call(
+            fn_name, self.node.name, lambda: sim.now,
+            attrs={
+                "perf_goal": route.server_hints.perf_goal,
+                "payload_size": route.server_hints.payload_size,
+                "concurrency": route.server_hints.concurrency,
+                "protocol": ch.protocol or "tcp",
+                "transport": ch.transport,
+                "rationale": route.choice.rationale,
+                "req_bytes": len(message),
+                "oneway": oneway,
+            })
+        act.stage("serialize",
+                  sim.now if ser_start is None else ser_start, sim.now,
+                  nbytes=len(message))
+        # The dynamic-hint path is the route lookup above -- cached
+        # function type, so it costs no simulated time.
+        act.stage("hint_select", sim.now, sim.now,
+                  channel=route.channel, rationale=route.choice.rationale)
+        p = sim.active_process
+        prev_ctx = p.trace_ctx if p is not None else None
+        if p is not None:
+            p.trace_ctx = act
+        try:
+            resp = yield from self._call_inner(fn_name, route, message,
+                                               oneway, seqid, deadline, act)
+        except BaseException as exc:
+            act.finish(sim.now, status=type(exc).__name__)
+            raise
+        else:
+            act.stage("deserialize", sim.now, sim.now,
+                      nbytes=len(resp or b""))
+            act.finish(sim.now, status="ok", resp_bytes=len(resp or b""))
+            return resp
+        finally:
+            if p is not None:
+                p.trace_ctx = prev_ctx
+
+    def _call_inner(self, fn_name: str, route: FunctionRoute,
+                    message: bytes, oneway: bool, seqid: Optional[int],
+                    deadline: Optional[float], act):
         budget = deadline if deadline is not None else self.deadline
         if budget is None:
             return (yield from self._call_with_recovery(
-                fn_name, route, message, oneway, seqid))
+                fn_name, route, message, oneway, seqid, act))
         sim = self.node.sim
+        # The spawned recovery process inherits the caller's trace_ctx, so
+        # spans recorded inside it land in the same trace.
         attempt = sim.process(
-            self._call_with_recovery(fn_name, route, message, oneway, seqid),
+            self._call_with_recovery(fn_name, route, message, oneway, seqid,
+                                     act),
             name=f"call-{fn_name}")
         expiry = sim.timeout(budget)
         try:
@@ -427,7 +493,7 @@ class HatRpcEngine:
 
     def _call_with_recovery(self, fn_name: str, route: FunctionRoute,
                             message: bytes, oneway: bool,
-                            seqid: Optional[int]):
+                            seqid: Optional[int], act=None):
         policy = self.retry_policy
         idempotent = fn_name in self.idempotent_fns
         call_key = (fn_name, seqid)
@@ -451,11 +517,21 @@ class HatRpcEngine:
             breaker = self._breaker(idx)
             sent = False
             inflight = None
+            if act is not None:
+                ch_plan = self.plan.channels[idx]
+                act.begin_attempt(self.node.sim.now, attempt=attempt,
+                                  channel=idx,
+                                  protocol=ch_plan.protocol or "tcp",
+                                  transport=ch_plan.transport)
             try:
                 chan = self._channels.get(idx)
                 if chan is None:
+                    t_conn = self.node.sim.now
                     chan = yield from self._open_channel(
                         self.plan.channels[idx])
+                    if act is not None:
+                        act.stage("connect", t_conn, self.node.sim.now,
+                                  channel=idx)
                 sent = True
                 if seqid is not None:
                     self._sent_seqids.add(call_key)
@@ -465,13 +541,23 @@ class HatRpcEngine:
                     if m is not None:
                         inflight = m[3]
                         inflight.inc()
-                resp = yield from chan.call(message,
+                # The wire envelope carries this attempt's span id, so the
+                # server span parents to the attempt that reached it.  It
+                # is empty for unsampled, unfaulted calls.
+                wire_msg = message if act is None \
+                    else act.envelope() + message
+                resp = yield from chan.call(wire_msg,
                                             resp_hint=route.resp_hint,
-                                            oneway=oneway)
+                                            oneway=oneway, trace=act)
             except _CHANNEL_ERRORS as exc:
                 if inflight is not None:
                     inflight.dec()
                 last_exc = self._map_error(exc)
+                if act is not None:
+                    # Close the attempt before recording events so faults
+                    # read as root-level siblings of the attempt subtrees.
+                    act.end_attempt(self.node.sim.now, status="error",
+                                    error=type(exc).__name__)
                 breaker.record_failure()
                 self.faults.channel_failures += 1
                 self._trace("channel_error", fn_name, idx,
@@ -487,8 +573,14 @@ class HatRpcEngine:
                     delay = policy.backoff(attempt, self.rng)
                     self._trace("retry", fn_name, idx,
                                 f"attempt={attempt + 1} backoff={delay:.2e}")
+                    t_back = self.node.sim.now
                     yield self.node.sim.timeout(delay)
+                    if act is not None:
+                        act.stage("backoff", t_back, self.node.sim.now,
+                                  attempt=attempt + 1)
                 continue
+            if act is not None:
+                act.end_attempt(self.node.sim.now, status="ok")
             breaker.record_success()
             self.calls_routed += 1
             if self._obs is not None:

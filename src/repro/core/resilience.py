@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.sim.units import us
 
@@ -77,19 +77,27 @@ class CircuitBreaker:
         self.failures = 0
         self.opened_at = float("-inf")
         self.opens = 0
+        #: state-transition log: (sim time, from-state, to-state); purely
+        #: clock-driven, so it replays byte-identically with the scenario.
+        self.transitions: List[Tuple[float, str, str]] = []
+
+    def _goto(self, state: str) -> None:
+        if state != self.state:
+            self.transitions.append((self.sim.now, self.state, state))
+            self.state = state
 
     def allow(self) -> bool:
         """May a call go through right now?"""
         if self.state == self.OPEN:
             if self.sim.now - self.opened_at >= self.reset_after:
-                self.state = self.HALF_OPEN
+                self._goto(self.HALF_OPEN)
             else:
                 return False
         return True
 
     def record_success(self) -> None:
         self.failures = 0
-        self.state = self.CLOSED
+        self._goto(self.CLOSED)
 
     def record_failure(self) -> None:
         self.failures += 1
@@ -99,6 +107,6 @@ class CircuitBreaker:
                 self.opens += 1
                 if self.on_open is not None:
                     self.on_open(self)
-            self.state = self.OPEN
+            self._goto(self.OPEN)
             self.opened_at = self.sim.now
             self.failures = 0

@@ -81,10 +81,12 @@ class RdmaChannel:
             self._client.abort()
             raise
 
-    def call(self, message: bytes, resp_hint: int, oneway: bool = False):
+    def call(self, message: bytes, resp_hint: int, oneway: bool = False,
+             trace=None):
         # Oneway still receives the engine-level empty ack the server sends
         # for every request; the fixed cost is one tiny response message.
-        return (yield from self._client.call(message, resp_hint=resp_hint))
+        return (yield from self._client.call(message, resp_hint=resp_hint,
+                                             trace=trace))
 
     def close(self) -> None:
         # Error the QP pair: the peer-side flush wakes the server's serve
@@ -106,13 +108,22 @@ class TcpChannel:
             TSocket(self.node, self.remote_node, self.port))
         yield from self._trans.open()
 
-    def call(self, message: bytes, resp_hint: int, oneway: bool = False):
+    def call(self, message: bytes, resp_hint: int, oneway: bool = False,
+             trace=None):
+        t0 = self.node.sim.now
         self._trans.write(message)
         yield from self._trans.flush()
+        if trace is not None:
+            trace.stage("post", t0, self.node.sim.now, nbytes=len(message))
         if oneway:
             return b""
+        t1 = self.node.sim.now
         yield from self._trans.ready()
-        return self._trans.read(1 << 30)
+        resp = self._trans.read(1 << 30)
+        if trace is not None:
+            trace.stage("complete", t1, self.node.sim.now,
+                        nbytes=len(resp))
+        return resp
 
     def close(self) -> None:
         if self._trans is not None:
@@ -173,9 +184,16 @@ class HatRpcServer:
         """Bridge: protocol-level bytes -> Thrift processor -> bytes."""
         processor = self.processor
         factory = self.protocol_factory
+        sim = self.node.sim
 
         def handle(request: bytes):
             itrans = TMemoryBuffer(request)
+            # Hand the serve loop's trace context (a ServerCall, or None)
+            # to the processor, which has no simulator handle of its own.
+            # Always assigned so a previous request's context never leaks
+            # onto this one.
+            ap = sim.active_process
+            itrans.trace_ctx = ap.trace_ctx if ap is not None else None
             otrans = TMemoryBuffer()
             replied = yield from processor.process(factory(itrans),
                                                    factory(otrans))

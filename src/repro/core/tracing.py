@@ -82,12 +82,18 @@ class FunctionSummary:
 
 
 class Tracer:
-    """Collects spans; attach with :func:`attach_tracer`."""
+    """Collects spans; attach with :func:`attach_tracer`.
+
+    ``faults`` is bound by :func:`attach_tracer` to the *engine's*
+    :class:`FaultCounters` instance -- the tracer never owns a second set
+    of counters, so every recovery decision bumps exactly one counter.
+    """
 
     def __init__(self, max_spans: Optional[int] = None):
         self.max_spans = max_spans
         self.spans: List[CallSpan] = []
         self.dropped = 0
+        self.faults: Optional[FaultCounters] = None
 
     def record(self, span: CallSpan) -> None:
         if self.max_spans is not None and len(self.spans) >= self.max_spans:
@@ -118,12 +124,15 @@ class Tracer:
         if self.dropped:
             lines.append(f"({self.dropped} spans dropped at "
                          f"max_spans={self.max_spans})")
+        if self.faults is not None and any(self.faults.as_dict().values()):
+            lines.append("faults: " + self.faults.summary_line())
         return lines
 
 
 def attach_tracer(engine, tracer: Optional[Tracer] = None) -> Tracer:
     """Wrap an engine's ``call`` so every routed RPC records a span."""
     tracer = tracer or Tracer()
+    tracer.faults = engine.faults
     inner = engine.call
 
     def traced_call(fn_name: str, message: bytes, oneway: bool = False, **kw):

@@ -36,6 +36,7 @@ class TRdma(TTransport):
         self._current_fn: Optional[str] = None
         self._current_oneway = False
         self._current_seqid: Optional[int] = None
+        self._ser_start: Optional[float] = None
         self._fn_switches = 0   # dynamic-hint ablation instrumentation
 
     # -- routing state (set by HintedProtocol) ------------------------------
@@ -46,6 +47,9 @@ class TRdma(TTransport):
         self._current_fn = name
         self._current_oneway = mtype == TMessageType.ONEWAY
         self._current_seqid = seqid
+        # Serialization of the args begins now; the engine turns this into
+        # the "serialize" trace stage.
+        self._ser_start = self.engine.node.sim.now
 
     # -- TTransport interface --------------------------------------------------
     def is_open(self) -> bool:
@@ -66,7 +70,8 @@ class TRdma(TTransport):
         self._wbuf.clear()
         resp = yield from self.engine.call(self._current_fn, message,
                                            oneway=self._current_oneway,
-                                           seqid=self._current_seqid)
+                                           seqid=self._current_seqid,
+                                           ser_start=self._ser_start)
         self._rbuf = resp or b""
         self._rpos = 0
 

@@ -107,7 +107,41 @@ class LmdbBackend:
                 yield self.node.sim.timeout(2 * us)
 
     # -- operations (coroutines) ----------------------------------------------------------
+    # Public ops are thin wrappers that bracket the real coroutine into a
+    # "backend" trace stage when the serving process carries a trace
+    # context (set by the protocol serve loop); with tracing off the
+    # wrapper returns the inner generator untouched.
+    def _traced(self, op: str, gen, nbytes: int = 0):
+        ap = self.node.sim.active_process
+        ctx = ap.trace_ctx if ap is not None else None
+        if ctx is None:
+            return gen
+        return self._traced_run(op, gen, ctx, nbytes)
+
+    def _traced_run(self, op: str, gen, ctx, nbytes: int):
+        t0 = self.node.sim.now
+        result = yield from gen
+        ctx.stage("backend", t0, self.node.sim.now, op=op, nbytes=nbytes)
+        return result
+
     def get(self, key: bytes):
+        return self._traced("get", self._get(key))
+
+    def multi_get(self, keys):
+        return self._traced("multi_get", self._multi_get(keys))
+
+    def scan(self, start_key: bytes, count: int):
+        return self._traced("scan", self._scan(start_key, count))
+
+    def put(self, key: bytes, value: bytes):
+        return self._traced("put", self._put(key, value),
+                            nbytes=len(value))
+
+    def multi_put(self, keys, values):
+        return self._traced("multi_put", self._multi_put(keys, values),
+                            nbytes=sum(len(v) for v in values))
+
+    def _get(self, key: bytes):
         c = self.costs
         yield from self._charge(c.txn_begin + self._depth() * c.page_touch)
         txn = yield from self._begin_read()
@@ -120,7 +154,7 @@ class LmdbBackend:
         self.reads += 1
         return value
 
-    def multi_get(self, keys):
+    def _multi_get(self, keys):
         c = self.costs
         yield from self._charge(c.txn_begin)
         out = []
@@ -137,7 +171,7 @@ class LmdbBackend:
         self.reads += len(keys)
         return out
 
-    def scan(self, start_key: bytes, count: int):
+    def _scan(self, start_key: bytes, count: int):
         """Coroutine: up to ``count`` (key, value) pairs from start_key on."""
         if count < 0:
             raise ValueError("negative scan count")
@@ -155,7 +189,7 @@ class LmdbBackend:
         self.reads += len(rows)
         return rows
 
-    def put(self, key: bytes, value: bytes):
+    def _put(self, key: bytes, value: bytes):
         c = self.costs
         yield self._writer.acquire()
         try:
@@ -175,7 +209,7 @@ class LmdbBackend:
             self._writer.release()
         self.writes += 1
 
-    def multi_put(self, keys, values):
+    def _multi_put(self, keys, values):
         if len(keys) != len(values):
             raise ValueError("keys/values length mismatch")
         c = self.costs

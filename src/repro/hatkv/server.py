@@ -32,31 +32,45 @@ class KVHandler:
         else:
             self._m_ops = None
 
+    def _annotate(self, op: str, **attrs) -> None:
+        """Stamp the KV op onto the open "handler" trace stage (the Thrift
+        processor holds it open across the handler coroutine)."""
+        ap = self.backend.node.sim.active_process
+        ctx = ap.trace_ctx if ap is not None else None
+        if ctx is not None:
+            ctx.annotate(op=op, **attrs)
+
     def Get(self, key):
         if self._m_ops is not None:
             self._m_ops["get"].inc()
+        self._annotate("get", key_bytes=len(key))
         value = yield from self.backend.get(key)
         return value if value is not None else b""
 
     def Put(self, key, value):
         if self._m_ops is not None:
             self._m_ops["put"].inc()
+        self._annotate("put", value_bytes=len(value))
         yield from self.backend.put(key, value)
 
     def MultiGet(self, keys):
         if self._m_ops is not None:
             self._m_ops["multi_get"].inc()
+        self._annotate("multi_get", nkeys=len(keys))
         values = yield from self.backend.multi_get(keys)
         return [v if v is not None else b"" for v in values]
 
     def MultiPut(self, keys, values):
         if self._m_ops is not None:
             self._m_ops["multi_put"].inc()
+        self._annotate("multi_put", nkeys=len(keys),
+                       value_bytes=sum(len(v) for v in values))
         yield from self.backend.multi_put(keys, values)
 
     def Scan(self, start_key, count):
         if self._m_ops is not None:
             self._m_ops["scan"].inc()
+        self._annotate("scan", count=count)
         rows = yield from self.backend.scan(start_key, count)
         # flatten to [k1, v1, k2, v2, ...] (the IDL carries one list)
         out = []

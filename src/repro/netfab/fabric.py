@@ -175,6 +175,12 @@ class Fabric:
             raise ValueError("negative transmit size")
         sp = self.ports[src.name]
         dp = self.ports[dst.name]
+        # transmit() runs inline in the sender's process (TcpConn.send
+        # delegates here per segment), so a traced RPC's context is on the
+        # active process -- record the wire time as a "network" stage.
+        ap = self.sim.active_process
+        ctx = ap.trace_ctx if ap is not None else None
+        t0 = self.sim.now
         if self.link_down(src, dst):
             sp.faults_seen += 1
             raise LinkDownError(
@@ -200,4 +206,7 @@ class Fabric:
             yield self.sim.timeout(self.params.wire_latency)
             yield from dp.rx.use(ser)
         dp.bytes_received += nbytes
+        if ctx is not None:
+            ctx.stage("network", t0, self.sim.now, nbytes=nbytes,
+                      transport="tcp")
         return self.sim.now

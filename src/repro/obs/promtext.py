@@ -1,0 +1,92 @@
+"""Prometheus text exposition (version 0.0.4) of a MetricsRegistry.
+
+:func:`render` turns one registry into the plain-text format a Prometheus
+scrape endpoint would serve: counters as ``counter``, gauges as ``gauge``
+(with a ``<name>_high_water`` companion gauge), histograms as ``summary``
+(quantile series + ``_sum``/``_count``), and probe groups as ``gauge``
+series labelled by key.  Dotted instrument names become underscore-joined
+metric names (``proto.eager_sendrecv.ops`` ->
+``hatrpc_proto_eager_sendrecv_ops``) so they survive the Prometheus
+``[a-zA-Z_:][a-zA-Z0-9_:]*`` grammar.
+
+This is a file/stdout exporter, not an HTTP server: the simulator has no
+wall-clock process to scrape, so ``scripts/obs_dump.py`` and the benchmark
+pipeline write the rendering next to their other artifacts.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["render"]
+
+_PREFIX = "hatrpc"
+_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def _name(dotted: str) -> str:
+    metric = _BAD.sub("_", dotted.replace(".", "_"))
+    if metric and metric[0].isdigit():
+        metric = "_" + metric
+    return f"{_PREFIX}_{metric}"
+
+
+def _fmt(value: float) -> str:
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace(
+        "\n", "\\n")
+
+
+def _histogram_lines(name: str, hist: Histogram) -> List[str]:
+    lines = [f"# TYPE {name} summary"]
+    summary = hist.summary()
+    for q, stat in _QUANTILES:
+        if stat in summary:
+            lines.append(
+                f'{name}{{quantile="{q}"}} {_fmt(summary[stat])}')
+    lines.append(f"{name}_sum {_fmt(summary.get('sum', 0))}")
+    lines.append(f"{name}_count {_fmt(summary['count'])}")
+    return lines
+
+
+def render(registry: MetricsRegistry,
+           help_text: Optional[bool] = True) -> str:
+    """Render ``registry`` in the Prometheus text format (ends with \\n)."""
+    lines: List[str] = []
+    for dotted in sorted(registry.counters):
+        name = _name(dotted)
+        if help_text:
+            lines.append(f"# HELP {name} counter {dotted}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(registry.counters[dotted].value)}")
+    for dotted in sorted(registry.gauges):
+        gauge = registry.gauges[dotted]
+        name = _name(dotted)
+        if help_text:
+            lines.append(f"# HELP {name} gauge {dotted}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(gauge.value)}")
+        lines.append(f"# TYPE {name}_high_water gauge")
+        lines.append(f"{name}_high_water {_fmt(gauge.high_water)}")
+    for dotted in sorted(registry.histograms):
+        name = _name(dotted)
+        if help_text:
+            lines.append(f"# HELP {name} histogram {dotted}")
+        lines.extend(_histogram_lines(name, registry.histograms[dotted]))
+    for group, values in sorted(registry.probe_values().items()):
+        name = _name(group)
+        if help_text:
+            lines.append(f"# HELP {name} probe group {group}")
+        lines.append(f"# TYPE {name} gauge")
+        for key in sorted(values):
+            lines.append(
+                f'{name}{{key="{_escape_label(key)}"}} {_fmt(values[key])}')
+    return "\n".join(lines) + "\n"

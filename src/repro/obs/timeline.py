@@ -33,6 +33,17 @@ class TimelineExporter:
     def __init__(self) -> None:
         self.events: List[Dict[str, Any]] = []
         self._named: set = set()
+        self._node_pids: Dict[str, int] = {}
+
+    def pid_for(self, node_name: str) -> int:
+        """Stable pid for a simulated node (1-based, first come first
+        served) so multi-node runs land on distinct Perfetto process
+        tracks instead of all collapsing onto ``pid=0``."""
+        pid = self._node_pids.get(node_name)
+        if pid is None:
+            pid = self._node_pids[node_name] = len(self._node_pids) + 1
+            self.name_process(pid, f"node {node_name}")
+        return pid
 
     # -- primitives --------------------------------------------------------
     def add_complete(self, name: str, start: float, duration: float,
@@ -125,6 +136,42 @@ class TimelineExporter:
             n += 1
         return n
 
+    def add_trace_spans(self, spans: Iterable[Any]) -> int:
+        """Ingest distributed-trace :class:`~repro.obs.trace.Span` objects.
+
+        Each simulated node becomes its own Perfetto process (via
+        :meth:`pid_for`); within a node, each trace gets its own thread
+        lane so Perfetto's containment rule nests stage spans under call
+        spans.  The span identity (trace/span/parent ids, kind, status)
+        rides in ``args`` -- :func:`repro.obs.attribution.spans_from_chrome`
+        reconstructs the tree from the file alone.  Returns the number of
+        events added.
+        """
+        trace_tids: Dict[str, int] = {}
+        n = 0
+        for span in spans:
+            pid = self.pid_for(span.node or "?")
+            tid = trace_tids.setdefault(span.trace_id, len(trace_tids) + 1)
+            self.name_thread(pid, tid, f"trace {span.trace_id[-8:]}")
+            args = {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_span_id": span.parent_span_id,
+                "kind": span.kind,
+                "node": span.node,
+                "status": span.status,
+            }
+            args.update(span.attrs)
+            if span.kind == "event":
+                self.add_instant(span.name, span.start, pid=pid, tid=tid,
+                                 cat="fault", args=args)
+            else:
+                self.add_complete(span.name, span.start, span.duration,
+                                  pid=pid, tid=tid, cat=span.kind,
+                                  args=args)
+            n += 1
+        return n
+
     # -- output ------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         return {"traceEvents": list(self.events),
@@ -139,13 +186,16 @@ class TimelineExporter:
 
 
 def export_chrome_trace(path, tracer=None, engine=None, spans=None,
-                        fault_trace=None, pid: int = 0) -> TimelineExporter:
+                        fault_trace=None, collector=None,
+                        pid: int = 0) -> TimelineExporter:
     """One-call export: spans and/or fault events -> Perfetto JSON at
     ``path``.
 
-    Pass any of a ``tracer`` (its ``.spans`` are used), an ``engine`` (its
-    ``.fault_trace`` is used), or raw ``spans`` / ``fault_trace``
-    sequences.  Returns the exporter (with ``path`` already written).
+    Pass any of a ``tracer`` (its flat ``.spans`` are used), an ``engine``
+    (its ``.fault_trace`` is used), a distributed-trace ``collector``
+    (its tree-structured spans nest per node/trace), or raw ``spans`` /
+    ``fault_trace`` sequences.  Returns the exporter (with ``path``
+    already written).
     """
     ex = TimelineExporter()
     if tracer is not None:
@@ -156,5 +206,7 @@ def export_chrome_trace(path, tracer=None, engine=None, spans=None,
         ex.add_fault_trace(engine.fault_trace, pid=pid)
     if fault_trace is not None:
         ex.add_fault_trace(fault_trace, pid=pid)
+    if collector is not None:
+        ex.add_trace_spans(collector.spans)
     ex.write(path)
     return ex

@@ -25,6 +25,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Type
 
 from repro import obs
+from repro.obs import trace as obstrace
 from repro.sim.units import KiB
 from repro.verbs.cq import CQ, PollMode
 from repro.verbs.device import Device
@@ -109,6 +110,7 @@ class RpcClient:
         self.cfg = cfg or ProtoConfig()
         self.pd = device.alloc_pd()
         self._in_call = False
+        self._act = None        # ActiveCall of the in-flight traced RPC
         self.calls = 0
         # Per-protocol instruments, captured once (None = metrics disabled;
         # the call() hot path then pays a single attribute check).
@@ -156,8 +158,14 @@ class RpcClient:
         return
         yield  # pragma: no cover
 
-    def call(self, request: bytes, resp_hint: int = 4 * KiB):
-        """Coroutine: one RPC; returns the response bytes."""
+    def call(self, request: bytes, resp_hint: int = 4 * KiB, trace=None):
+        """Coroutine: one RPC; returns the response bytes.
+
+        ``trace`` is the engine's in-flight
+        :class:`~repro.obs.trace.ActiveCall` (or None): the protocol
+        brackets its send/receive halves into "post"/"complete" stage
+        spans on it.
+        """
         if self._in_call:
             raise ProtocolError(
                 "connection already has an outstanding call (protocol "
@@ -168,6 +176,7 @@ class RpcClient:
                 f"request of {len(request)} bytes exceeds max_msg "
                 f"{self.cfg.max_msg}")
         self._in_call = True
+        self._act = trace
         if self._m_ops is not None:
             t_start = self.sim.now
             qp = getattr(self, "qp", None)
@@ -176,6 +185,7 @@ class RpcClient:
             resp = yield from self._call(request, resp_hint)
         finally:
             self._in_call = False
+            self._act = None
         self.calls += 1
         if self._m_ops is not None:
             self._m_ops.inc()
@@ -188,6 +198,17 @@ class RpcClient:
 
     def _wait(self, cq: CQ, max_wc: int = 16):
         return (yield from cq.wait(self.cfg.poll_mode, max_wc))
+
+    def _staged(self, name: str, gen, **attrs):
+        """Coroutine: run ``gen``, bracketing it into a trace stage span
+        when a traced call is in flight (no-op otherwise)."""
+        act = self._act
+        if act is None:
+            return (yield from gen)
+        t0 = self.sim.now
+        result = yield from gen
+        act.stage(name, t0, self.sim.now, **attrs)
+        return result
 
     def abort(self) -> None:
         """Hard-close the connection: error the QP (and the peer's).
@@ -233,6 +254,7 @@ class RpcServer:
         reg = obs.current()
         self._m_requests = (reg.counter(f"proto.{self.proto_name}.server_requests")
                             if reg is not None else None)
+        self._trc = obstrace.current()
 
     def start(self) -> "RpcServer":
         self.listener = cm.listen(self.device, self.service_id)
@@ -273,6 +295,7 @@ class RpcServer:
 
     def _serve_loop(self, endpoint):
         while True:
+            t_poll = self.sim.now
             try:
                 request = yield from self._recv(endpoint)
             except (ProtocolError, *self._DEAD_CONN):
@@ -280,13 +303,45 @@ class RpcServer:
                 self.teardowns += 1
                 self._teardown(endpoint)
                 return
+            # A traced request leads with the context envelope; strip it and
+            # open the server span as a child of the client's attempt span.
+            srv = None
+            proc = prev_ctx = None
+            if self._trc is not None:
+                ctx, request = obstrace.split_envelope(request)
+                if ctx is not None:
+                    srv = self._trc.server_call(
+                        ctx, "server", self.device.node.name,
+                        lambda: self.sim.now, start=t_poll,
+                        attrs={"protocol": self.proto_name})
+                    srv.stage("poll", t_poll, self.sim.now)
+                    proc = self.sim.active_process
+                    if proc is not None:
+                        prev_ctx = proc.trace_ctx
+                        proc.trace_ctx = srv
             try:
-                resp = yield from self._dispatch(request)
-                yield from self._reply(endpoint, resp)
-            except self._DEAD_CONN:
-                self.teardowns += 1
-                self._teardown(endpoint)
-                return
+                try:
+                    if srv is not None:
+                        srv.open_stage("dispatch", self.sim.now)
+                    resp = yield from self._dispatch(request)
+                    if srv is not None:
+                        srv.close_stage(self.sim.now)
+                    t_reply = self.sim.now
+                    yield from self._reply(endpoint, resp)
+                    if srv is not None:
+                        srv.stage("reply", t_reply, self.sim.now,
+                                  nbytes=len(resp))
+                except self._DEAD_CONN:
+                    self.teardowns += 1
+                    self._teardown(endpoint)
+                    if srv is not None:
+                        srv.finish(self.sim.now, status="dead_conn")
+                    return
+            finally:
+                if proc is not None:
+                    proc.trace_ctx = prev_ctx
+            if srv is not None:
+                srv.finish(self.sim.now)
             self.requests += 1
             if self._m_requests is not None:
                 self._m_requests.inc()

@@ -223,8 +223,10 @@ class _BypassClient(RpcClient):
         return self._fetch.read(length, offset=HDR_BYTES)
 
     def _call(self, request: bytes, resp_hint: int):
-        yield from self._send_request(request)
-        return (yield from self._fetch_response(resp_hint))
+        yield from self._staged("post", self._send_request(request),
+                                nbytes=len(request))
+        return (yield from self._staged("complete",
+                                        self._fetch_response(resp_hint)))
 
 
 class _BypassServer(RpcServer):

@@ -218,8 +218,9 @@ class _TwoSidedClient(RpcClient):
         yield from self.ep.setup()
 
     def _call(self, request: bytes, resp_hint: int):
-        yield from self.ep.send_msg(request)
-        return (yield from self.ep.recv_msg())
+        yield from self._staged("post", self.ep.send_msg(request),
+                                nbytes=len(request))
+        return (yield from self._staged("complete", self.ep.recv_msg()))
 
 
 class _TwoSidedServer(RpcServer):

@@ -155,13 +155,19 @@ class Process(Event):
     to :meth:`Simulator.run` if nothing is waiting on it).
     """
 
-    __slots__ = ("gen", "name", "_waiting_on")
+    __slots__ = ("gen", "name", "_waiting_on", "trace_ctx")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        # Distributed-trace context rides on the process; spawned processes
+        # inherit the spawner's so detached work (NIC chains, server loops)
+        # stays attributed to the RPC that caused it.  None when tracing is
+        # off -- instrumented sites pay exactly this one attribute check.
+        ap = sim.active_process
+        self.trace_ctx = ap.trace_ctx if ap is not None else None
         # Kick off at the current time, but via the event queue so that the
         # creator finishes its own time step first.
         boot = Event(sim)

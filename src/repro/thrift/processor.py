@@ -24,12 +24,19 @@ class TProcessor:
     def __init__(self, handler):
         self._handler = handler
         self._process_map: Dict[str, Callable] = {}
+        # Trace context of the request currently entering process() --
+        # consumed exactly once by _invoke().  Safe despite the processor
+        # being shared across interleaved connections: there is no sim
+        # yield between process() entry and _invoke() entry (argument
+        # deserialization is synchronous memory-buffer reads).
+        self._trace_ctx = None
 
     def process(self, iprot: TProtocol, oprot: TProtocol):
         """Coroutine: handle one buffered inbound message.
 
         Returns True when a reply message was written (and must be flushed).
         """
+        self._trace_ctx = getattr(iprot.trans, "trace_ctx", None)
         name, mtype, seqid = iprot.read_message_begin()
         fn = self._process_map.get(name)
         if fn is None:
@@ -45,11 +52,20 @@ class TProcessor:
 
     def _invoke(self, method_name: str, *args):
         """Coroutine: call the handler method (plain or generator)."""
+        ctx = self._trace_ctx
+        self._trace_ctx = None
         method = getattr(self._handler, method_name)
+        if ctx is not None:
+            # Open-stage so backend spans recorded inside the handler nest
+            # under it; ctx stays valid across yields because it was
+            # captured into a local before the first one.
+            ctx.open_stage("handler", ctx.now(), method=method_name)
         if inspect.isgeneratorfunction(method):
             result = yield from method(*args)
         else:
             result = method(*args)
+        if ctx is not None:
+            ctx.close_stage(ctx.now())
         return result
 
 
@@ -99,6 +115,9 @@ class TMultiplexedProcessor(TProcessor):
             exc.write(oprot)
             oprot.write_message_end()
             return True
+        # The child processor's process() is bypassed, so hand it the trace
+        # context directly (same synchronous window as TProcessor.process).
+        proc._trace_ctx = getattr(iprot.trans, "trace_ctx", None)
         return (yield from fn(seqid, iprot, oprot))
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro import obs
+from repro.obs import trace as obstrace
 from repro.sim.core import Simulator
 from repro.sim.sync import Store
 from repro.thrift.errors import TTransportException
@@ -42,6 +43,7 @@ class TServer:
         else:
             self._m_requests = None
             self._m_connections = None
+        self._trc = obstrace.current()
 
     def serve(self) -> "TServer":
         """Start the accept loop (non-blocking; returns immediately)."""
@@ -59,17 +61,51 @@ class TServer:
     def _handle_connection(self, trans):
         """Coroutine: serve one connection until EOF."""
         prot = self.protocol_factory(trans)
+        node_name = self.server_transport.node.name
         if self._m_connections is not None:
             self._m_connections.inc()
         while not self._stopped:
+            t_poll = self.sim.now
             try:
                 yield from trans.ready()
             except TTransportException:
                 trans.close()
                 return
-            replied = yield from self.processor.process(prot, prot)
-            if replied:
-                yield from trans.flush()
+            # Traced requests lead with the context envelope inside the
+            # frame; strip it and open the server span.  trans.trace_ctx is
+            # assigned unconditionally so a previous request's context
+            # never leaks onto an untraced one.
+            srv = None
+            proc = prev_ctx = None
+            if self._trc is not None:
+                head = trans.peek(obstrace.ENVELOPE_BYTES)
+                ctx, rest = obstrace.split_envelope(head)
+                if ctx is not None:
+                    trans.read(obstrace.ENVELOPE_BYTES)
+                    srv = self._trc.server_call(
+                        ctx, "server", node_name, lambda: self.sim.now,
+                        start=t_poll, attrs={"protocol": "tcp"})
+                    srv.stage("poll", t_poll, self.sim.now)
+                    proc = self.sim.active_process
+                    if proc is not None:
+                        prev_ctx = proc.trace_ctx
+                        proc.trace_ctx = srv
+            trans.trace_ctx = srv
+            try:
+                if srv is not None:
+                    srv.open_stage("dispatch", self.sim.now)
+                replied = yield from self.processor.process(prot, prot)
+                if srv is not None:
+                    srv.close_stage(self.sim.now)
+                t_reply = self.sim.now
+                if replied:
+                    yield from trans.flush()
+                if srv is not None:
+                    srv.stage("reply", t_reply, self.sim.now)
+                    srv.finish(self.sim.now)
+            finally:
+                if proc is not None:
+                    proc.trace_ctx = prev_ctx
             self.requests += 1
             if self._m_requests is not None:
                 self._m_requests.inc()

@@ -61,6 +61,12 @@ class TTransport:
     def read(self, n: int) -> bytes:
         raise NotImplementedError
 
+    def peek(self, n: int) -> bytes:
+        """Up to ``n`` buffered inbound bytes WITHOUT consuming them
+        (``b""`` where the transport cannot look ahead).  Used to detect
+        the optional trace-context envelope ahead of a Thrift message."""
+        return b""
+
     def read_all(self, n: int) -> bytes:
         out = self.read(n)
         if len(out) < n:
@@ -93,6 +99,9 @@ class TMemoryBuffer(TTransport):
         out = bytes(self._rbuf[self._rpos:self._rpos + n])
         self._rpos += len(out)
         return out
+
+    def peek(self, n: int) -> bytes:
+        return bytes(self._rbuf[self._rpos:self._rpos + n])
 
     def getvalue(self) -> bytes:
         return bytes(self._wbuf)
@@ -195,6 +204,9 @@ class TFramedTransport(TTransport):
         out = self._rbuf[self._rpos:self._rpos + n]
         self._rpos += len(out)
         return out
+
+    def peek(self, n: int) -> bytes:
+        return bytes(self._rbuf[self._rpos:self._rpos + n])
 
 
 class TBufferedTransport(TFramedTransport):

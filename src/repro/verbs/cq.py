@@ -143,9 +143,17 @@ class CQ:
             # poller arrives (0 = it will block/spin for the completion).
             self._m_wait[mode].inc()
             self._m_occupancy[mode].record(float(len(self._q)))
+        ap = self.sim.active_process
+        ctx = ap.trace_ctx if ap is not None else None
+        t0 = self.sim.now
         if mode is PollMode.BUSY:
-            return (yield from self.wait_busy(max_wc))
-        return (yield from self.wait_event(max_wc))
+            wcs = yield from self.wait_busy(max_wc)
+        else:
+            wcs = yield from self.wait_event(max_wc)
+        if ctx is not None:
+            ctx.stage("cq_wait", t0, self.sim.now, mode=mode.value,
+                      wcs=len(wcs))
+        return wcs
 
     def __len__(self) -> int:
         return len(self._q)

@@ -192,8 +192,15 @@ class QP:
         latency is constant.  Completions are reaped (and pushed) in posting
         order.
         """
-        pending: List[tuple[SendWR, object]] = []
+        sim = self.device.sim
+        # This process inherited the posting RPC's trace context; record one
+        # "network" stage per WR, from TX start to ACK/last-byte completion
+        # -- the real wire time, measured at the NIC.
+        ap = sim.active_process
+        ctx = ap.trace_ctx if ap is not None else None
+        pending: List[tuple[SendWR, float, object]] = []
         for wr in chain:
+            t_tx = sim.now
             if wr.opcode is Opcode.RDMA_READ:
                 phase = self._nic_read(wr)
             else:
@@ -204,10 +211,14 @@ class QP:
                 self.device.port.bytes_sent += wr.sge.length
                 self.device.port.messages_sent += 1
                 phase = self._remote_phase(wr, payload)
-            pending.append((wr, self.device.sim.process(
+            pending.append((wr, t_tx, self.device.sim.process(
                 phase, name=f"wr-qp{self.qp_num}")))
-        for wr, proc in pending:
+        for wr, t_tx, proc in pending:
             status = yield proc
+            if ctx is not None:
+                ctx.stage("network", t_tx, sim.now,
+                          opcode=wr.opcode.value, nbytes=wr.sge.length,
+                          wc=status.name.lower())
             if status is not WCStatus.SUCCESS:
                 # Errors always generate a completion, signaled or not.
                 self.send_cq.push(WC(wr.wr_id, _SEND_WC[wr.opcode], status,

@@ -1,0 +1,50 @@
+"""The install-order footgun warning: installing a registry after
+components already captured None must warn, once."""
+
+import warnings
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def reset_footgun_state(monkeypatch):
+    """Isolate the module-level detector from the rest of the session."""
+    monkeypatch.setattr(obs, "_missed_captures", 0)
+    monkeypatch.setattr(obs, "_warned_install_order", False)
+    yield
+    obs.uninstall()
+
+
+def test_install_after_capture_warns():
+    assert obs.current() is None        # a component constructed too early
+    with pytest.warns(obs.ObsInstallOrderWarning, match="1 component"):
+        obs.install()
+
+
+def test_warning_fires_only_once_per_process():
+    obs.current()
+    with pytest.warns(obs.ObsInstallOrderWarning):
+        obs.install()
+    obs.uninstall()
+    obs.current()                       # miss again...
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # ...but the warning stays quiet
+        obs.install()
+
+
+def test_clean_install_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        reg = obs.install()
+    assert obs.current() is reg         # capture after install: no miss
+
+
+def test_captures_after_install_do_not_poison_later_installs():
+    obs.install()
+    obs.current()                       # successful capture
+    obs.uninstall()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        obs.install()

@@ -1,0 +1,76 @@
+"""Prometheus text rendering of a MetricsRegistry."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import render
+
+
+def test_counter_and_gauge_render():
+    reg = MetricsRegistry()
+    reg.counter("engine.calls").inc(3)
+    g = reg.gauge("engine.inflight")
+    g.set(2)
+    g.set(5)
+    g.set(1)
+    text = render(reg)
+    assert "# TYPE hatrpc_engine_calls counter" in text
+    assert "hatrpc_engine_calls 3" in text
+    assert "# TYPE hatrpc_engine_inflight gauge" in text
+    assert "hatrpc_engine_inflight 1" in text
+    assert "hatrpc_engine_inflight_high_water 5" in text
+    assert text.endswith("\n")
+
+
+def test_histogram_renders_as_summary():
+    reg = MetricsRegistry()
+    h = reg.histogram("rpc.latency")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        h.record(v)
+    text = render(reg)
+    assert "# TYPE hatrpc_rpc_latency summary" in text
+    assert 'hatrpc_rpc_latency{quantile="0.5"}' in text
+    assert 'hatrpc_rpc_latency{quantile="0.95"}' in text
+    assert "hatrpc_rpc_latency_sum 10" in text
+    assert "hatrpc_rpc_latency_count 4" in text
+
+
+def test_empty_histogram_still_has_count():
+    reg = MetricsRegistry()
+    reg.histogram("rpc.latency")
+    text = render(reg)
+    assert "hatrpc_rpc_latency_count 0" in text
+
+
+def test_probe_groups_become_labelled_gauges():
+    reg = MetricsRegistry()
+    reg.probe("faults", lambda: {"retries": 2, "timeouts": 0})
+    text = render(reg)
+    assert 'hatrpc_faults{key="retries"} 2' in text
+    assert 'hatrpc_faults{key="timeouts"} 0' in text
+
+
+def test_names_survive_the_prometheus_grammar():
+    reg = MetricsRegistry()
+    reg.counter("proto.eager-sendrecv.ops/total").inc()
+    text = render(reg)
+    assert "hatrpc_proto_eager_sendrecv_ops_total 1" in text
+
+
+def test_label_values_are_escaped():
+    reg = MetricsRegistry()
+    reg.probe("odd", lambda: {'with"quote\\slash': 1})
+    text = render(reg)
+    assert '{key="with\\"quote\\\\slash"}' in text
+
+
+def test_help_text_can_be_suppressed():
+    reg = MetricsRegistry()
+    reg.counter("a.b").inc()
+    assert "# HELP" in render(reg)
+    assert "# HELP" not in render(reg, help_text=False)
+
+
+def test_floats_render_roundtrippably():
+    reg = MetricsRegistry()
+    reg.gauge("g").set(2.5)
+    text = render(reg, help_text=False)
+    assert "hatrpc_g 2.5" in text

@@ -1,0 +1,248 @@
+"""Cross-node trace propagation, including under faults: a faulted call
+(timeout -> retry -> failover) must yield ONE trace whose attempt spans,
+fault events, and server-side spans all link back to the client root."""
+
+import random
+
+import pytest
+
+from repro.core.tracing import Tracer, attach_tracer
+from repro.core.runtime import HatRpcServer, hatrpc_connect
+from repro.obs import trace as obstrace
+from repro.sim.units import ms, us
+from repro.testbed import Testbed
+from repro.thrift.errors import TTransportException
+from repro.idl import load_idl
+
+KV_IDL = """
+service MiniKV {
+    hint: concurrency = 4;
+
+    string Get(1: string k) [ hint: perf_goal = latency; ]
+    void Put(1: string k, 2: string v) [ hint: perf_goal = latency; ]
+    string Slow(1: string k) [ hint: perf_goal = latency; ]
+    string Legacy(1: string k) [ hint: transport = tcp; ]
+}
+"""
+
+
+class KVHandler:
+    def __init__(self, tb):
+        self.tb = tb
+        self.store = {}
+
+    def Get(self, k):
+        return self.store.get(k, "")
+
+    def Put(self, k, v):
+        self.store[k] = v
+
+    def Slow(self, k):
+        yield self.tb.sim.timeout(10 * ms)
+        return k
+
+    def Legacy(self, k):
+        return self.store.get(k, "")
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return load_idl(KV_IDL, "trace_prop_gen")
+
+
+def ancestors(span, by_id):
+    """Walk parent links to the trace root; returns the chain (nearest
+    first).  Fails the test on a broken link inside the same trace."""
+    chain = []
+    cur = span
+    while cur.parent_span_id:
+        cur = by_id[cur.parent_span_id]
+        chain.append(cur)
+    return chain
+
+
+def trace_of(col, root_name):
+    """The one committed trace whose client root is ``root_name``."""
+    matches = [spans for spans in col.traces().values()
+               if any(s.kind == "client" and not s.parent_span_id
+                      and s.name == root_name for s in spans)]
+    assert len(matches) == 1, (
+        f"expected exactly one {root_name!r} trace, got {len(matches)}")
+    return matches[0]
+
+
+# -- the healthy path --------------------------------------------------------
+
+def test_server_spans_are_descendants_of_the_client_call(gen):
+    with obstrace.installed() as col:
+        tb = Testbed(n_nodes=2)
+        handler = KVHandler(tb)
+        HatRpcServer(tb.node(0), gen, "MiniKV", handler).start()
+
+        def run():
+            stub = yield from hatrpc_connect(tb.node(1), tb.node(0), gen,
+                                             "MiniKV")
+            yield from stub.Put("k", "v")
+            return (yield from stub.Get("k"))
+
+        assert tb.sim.run(tb.sim.process(run())) == "v"
+        tb.sim.run()
+
+        spans = trace_of(col, "Get")
+        by_id = {s.span_id: s for s in spans}
+        root = next(s for s in spans if not s.parent_span_id)
+        assert root.node == "node1"
+
+        server = next(s for s in spans if s.kind == "server")
+        assert server.node == "node0"
+        chain = ancestors(server, by_id)
+        assert chain[-1] is root                    # true descendant
+        assert chain[0].name.startswith("attempt#")  # parented per attempt
+
+        handler_stage = next(s for s in spans if s.name == "handler")
+        assert ancestors(handler_stage, by_id)[-1] is root
+        assert handler_stage.node == "node0"
+
+
+def test_tcp_channel_traces_cross_node_too(gen):
+    with obstrace.installed() as col:
+        tb = Testbed(n_nodes=2)
+        handler = KVHandler(tb)
+        handler.store["k"] = "v"
+        HatRpcServer(tb.node(0), gen, "MiniKV", handler).start()
+
+        def run():
+            stub = yield from hatrpc_connect(tb.node(1), tb.node(0), gen,
+                                             "MiniKV")
+            return (yield from stub.Legacy("k"))     # hinted transport=tcp
+
+        assert tb.sim.run(tb.sim.process(run())) == "v"
+        tb.sim.run()
+
+        spans = trace_of(col, "Legacy")
+        by_id = {s.span_id: s for s in spans}
+        server = next(s for s in spans if s.kind == "server")
+        assert server.attrs.get("protocol") == "tcp"
+        root = next(s for s in spans if not s.parent_span_id)
+        assert ancestors(server, by_id)[-1] is root
+        assert {"poll", "dispatch", "handler", "reply"} <= {
+            s.name for s in spans if s.node == "node0"}
+
+
+# -- satellite: one trace through timeout -> retry -> failover ---------------
+
+def test_faulted_call_yields_one_trace_covering_every_attempt(gen):
+    with obstrace.installed() as col:
+        tb = Testbed(n_nodes=2)
+        handler = KVHandler(tb)
+        handler.store["k"] = "v"
+        server = HatRpcServer(tb.node(0), gen, "MiniKV", handler).start()
+        # Kill every RDMA listener: the Get must retry on its primary,
+        # trip the breaker, and fail over to the Legacy TCP channel.
+        for ch, srv in zip(server.plan.channels, server.endpoint.servers):
+            if ch.transport == "rdma":
+                srv.stop()
+
+        def run():
+            stub = yield from hatrpc_connect(
+                tb.node(1), tb.node(0), gen, "MiniKV",
+                idempotent=("Get",), rng=random.Random(42))
+            value = yield from stub.Get("k")
+            return value, stub._hatrpc.engine
+
+        value, engine = tb.sim.run(tb.sim.process(run()))
+        tb.sim.run()
+        assert value == "v"
+        assert engine.faults.failovers == 1
+        assert engine.faults.retries >= 1
+
+        spans = trace_of(col, "Get")                # ONE trace, all attempts
+        by_id = {s.span_id: s for s in spans}
+        root = next(s for s in spans if not s.parent_span_id)
+
+        attempts = [s for s in spans if s.name.startswith("attempt#")]
+        assert len(attempts) >= 2                   # failed + failover
+        assert all(s.parent_span_id == root.span_id for s in attempts)
+        assert any(s.status == "error" for s in attempts)
+        ok = [s for s in attempts if s.status == "ok"]
+        assert len(ok) == 1
+
+        events = {s.name for s in spans if s.kind == "event"}
+        assert "retry" in events and "failover" in events
+
+        # The successful attempt reached the TCP server; its server span
+        # parents to that attempt -- the whole story in one trace.
+        server_spans = [s for s in spans if s.kind == "server"]
+        assert server_spans, "no server span survived the failover"
+        for srv_span in server_spans:
+            assert ancestors(srv_span, by_id)[-1] is root
+        assert any(s.parent_span_id == ok[0].span_id for s in server_spans)
+
+
+def test_timeout_commits_the_trace_even_when_unsampled(gen):
+    # sample_rate=0: nothing commits unless a call faults.  The deadline
+    # expiry marks the call faulted, so the whole buffered trace commits.
+    with obstrace.installed(sample_rate=0.0) as col:
+        tb = Testbed(n_nodes=2)
+        handler = KVHandler(tb)
+        HatRpcServer(tb.node(0), gen, "MiniKV", handler).start()
+
+        def run():
+            stub = yield from hatrpc_connect(tb.node(1), tb.node(0), gen,
+                                             "MiniKV", deadline=200 * us)
+            with pytest.raises(TTransportException) as ei:
+                yield from stub.Slow("x")
+            assert ei.value.type == TTransportException.TIMED_OUT
+            yield from stub.Put("k", "v")          # healthy call: dropped
+            return stub._hatrpc.engine
+
+        engine = tb.sim.run(tb.sim.process(run()))
+        assert engine.faults.timeouts == 1
+
+        spans = trace_of(col, "Slow")
+        root = next(s for s in spans if not s.parent_span_id)
+        assert root.status != "ok"
+        assert any(s.name == "timeout" and s.kind == "event" for s in spans)
+        # the healthy Put stayed unsampled
+        assert not any(s.name == "Put" for s in col.spans)
+        assert col.dropped_calls >= 1
+
+
+# -- satellite: FaultCounters stay deduplicated ------------------------------
+
+def test_tracer_reads_the_engines_fault_counters(gen):
+    """attach_tracer must NOT create a second FaultCounters: each retry /
+    failover decision bumps exactly one counter, on the engine's instance,
+    which the tracer merely exposes."""
+    tb = Testbed(n_nodes=2)
+    handler = KVHandler(tb)
+    handler.store["k"] = "v"
+    server = HatRpcServer(tb.node(0), gen, "MiniKV", handler).start()
+    for ch, srv in zip(server.plan.channels, server.endpoint.servers):
+        if ch.transport == "rdma":
+            srv.stop()
+    box = {}
+
+    def run():
+        stub = yield from hatrpc_connect(
+            tb.node(1), tb.node(0), gen, "MiniKV",
+            idempotent=("Get",), rng=random.Random(42))
+        box["tracer"] = attach_tracer(stub._hatrpc.engine, Tracer())
+        box["engine"] = stub._hatrpc.engine
+        yield from stub.Get("k")
+        return None
+
+    tb.sim.run(tb.sim.process(run()))
+    tracer, engine = box["tracer"], box["engine"]
+    assert tracer.faults is engine.faults          # same object, no copy
+    # exactly one failover decision -> exactly one counter bump, visible
+    # identically through both names
+    assert engine.faults.failovers == 1
+    assert tracer.faults.failovers == 1
+    retries = sum(1 for _, kind, *_ in engine.fault_trace
+                  if kind == "retry")
+    assert engine.faults.retries == retries        # one bump per decision
+    failovers = sum(1 for _, kind, *_ in engine.fault_trace
+                    if kind == "failover")
+    assert engine.faults.failovers == failovers
+    assert any("faults:" in line for line in tracer.summary_lines())
