@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.core.engine import ServicePlan, pinned_plan
-from repro.core.runtime import HatRpcServer, hatrpc_connect
+from repro.core.engine import ServicePlan, pinned_plan, plan_with_window
+from repro.core.runtime import HatRpcServer, hatrpc_connect, service_plan_of
 from repro.sim.units import KiB
 from repro.testbed import Testbed
 from repro.verbs.cq import PollMode
@@ -41,21 +41,32 @@ def baseline_poll_mode(mode: str, n_clients: int) -> PollMode:
     return PollMode.BUSY if n_clients <= 16 else PollMode.EVENT
 
 
-def plan_for_mode(gen, mode: str, n_clients: int,
-                  max_msg: int) -> Optional[ServicePlan]:
-    """None for hatrpc (hint-driven); a pinned plan for baselines."""
+def plan_for_mode(gen, mode: str, n_clients: int, max_msg: int,
+                  window: int = 1) -> Optional[ServicePlan]:
+    """None for hatrpc (hint-driven); a pinned plan for baselines.
+
+    ``window > 1`` provisions the plan for pipelined calls -- and forces an
+    explicit plan even for hatrpc mode, since both peers must share the
+    widened wire-slot geometry.
+    """
     if mode == "hatrpc":
-        return None
+        if window <= 1:
+            return None
+        return plan_with_window(
+            service_plan_of(gen, SERVICE, concurrency=n_clients,
+                            pipeline=True), window)
     protocol = "tcp" if mode == "ipoib" else mode
-    return pinned_plan(SERVICE, gen.SERVICE_FUNCTIONS[SERVICE], protocol,
+    plan = pinned_plan(SERVICE, gen.SERVICE_FUNCTIONS[SERVICE], protocol,
                        baseline_poll_mode(mode, n_clients), max_msg,
                        numa_local=n_clients <= 16,
                        resp_hint=max_msg - 4 * KiB)
+    return plan_with_window(plan, window) if window > 1 else plan
 
 
 def start_server(tb: Testbed, gen, handler, mode: str, n_clients: int,
-                 max_msg: int, server_node: int = 0) -> HatRpcServer:
-    plan = plan_for_mode(gen, mode, n_clients, max_msg)
+                 max_msg: int, server_node: int = 0,
+                 window: int = 1) -> HatRpcServer:
+    plan = plan_for_mode(gen, mode, n_clients, max_msg, window)
     server = HatRpcServer(tb.node(server_node), gen, SERVICE, handler,
                           base_service_id=BASE_SID,
                           concurrency=n_clients, plan=plan)
@@ -63,9 +74,9 @@ def start_server(tb: Testbed, gen, handler, mode: str, n_clients: int,
 
 
 def connect_stub(tb: Testbed, client_node, gen, mode: str, n_clients: int,
-                 max_msg: int, server_node: int = 0):
+                 max_msg: int, server_node: int = 0, window: int = 1):
     """Coroutine: a connected ATBench stub on ``client_node``."""
-    plan = plan_for_mode(gen, mode, n_clients, max_msg)
+    plan = plan_for_mode(gen, mode, n_clients, max_msg, window)
     stub = yield from hatrpc_connect(
         client_node, tb.node(server_node), gen, SERVICE,
         base_service_id=BASE_SID, concurrency=n_clients, plan=plan)

@@ -34,6 +34,9 @@ class ThroughputBenchmark:
     iters: int = 20
     warmup: int = 5
     n_nodes: int = 10
+    #: per-connection in-flight window; >1 switches each client from
+    #: blocking call/response to the pipelined async path
+    outstanding: int = 1
 
     def run(self, testbed: Testbed | None = None) -> ThroughputResult:
         tb = testbed or Testbed(n_nodes=self.n_nodes)
@@ -41,25 +44,43 @@ class ThroughputBenchmark:
                               concurrency=self.n_clients)
         max_msg = self.payload + 8 * KiB
         handler = EchoHandler(tb.node(0), resp_payload=self.payload)
-        start_server(tb, gen, handler, self.mode, self.n_clients, max_msg)
+        start_server(tb, gen, handler, self.mode, self.n_clients, max_msg,
+                     window=self.outstanding)
         stats = LatencyStats()
         payload = bytes(i % 251 for i in range(self.payload))
         window = {"start": None, "end": 0.0, "ops": 0}
         client_nodes = tb.nodes[1:]
 
+        def record(k, t0, t_done):
+            if k >= self.warmup:
+                if window["start"] is None:
+                    window["start"] = t0
+                stats.record(t_done - t0)
+                window["ops"] += 1
+                window["end"] = max(window["end"], t_done)
+
         def client(i):
             node = client_nodes[i % len(client_nodes)]
             stub = yield from connect_stub(tb, node, gen, self.mode,
-                                           self.n_clients, max_msg)
+                                           self.n_clients, max_msg,
+                                           window=self.outstanding)
+            if self.outstanding <= 1:
+                for k in range(self.warmup + self.iters):
+                    t0 = tb.sim.now
+                    yield from stub.Echo(payload)
+                    record(k, t0, tb.sim.now)
+                return
+            # Pipelined: keep up to `outstanding` Echoes in flight on one
+            # connection; the engine's window provides the backpressure.
+            caller = stub._hatrpc.async_caller()
+            handles = []
             for k in range(self.warmup + self.iters):
                 t0 = tb.sim.now
-                yield from stub.Echo(payload)
-                if k >= self.warmup:
-                    if window["start"] is None:
-                        window["start"] = t0
-                    stats.record(tb.sim.now - t0)
-                    window["ops"] += 1
-                    window["end"] = max(window["end"], tb.sim.now)
+                h = yield from caller.call_async("Echo", payload)
+                handles.append((k, t0, h))
+            for k, t0, h in handles:
+                yield from h.wait()
+                record(k, t0, h.handle.t_done)
 
         for i in range(self.n_clients):
             tb.sim.process(client(i))

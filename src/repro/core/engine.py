@@ -25,11 +25,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro import obs
 from repro.obs import trace as obstrace
 from repro.core.hints import ResolvedHints, resolve_hints
+from repro.core.pipeline import (BoundedSeqidSet, CallHandle, ChannelPipeline,
+                                 PipelineDead, pack_pip)
 from repro.core.resilience import CircuitBreaker, RetryPolicy
 from repro.core.selector import (SMALL_MESSAGE_THRESHOLD, ProtocolChoice,
                                  select_protocol)
 from repro.core.tracing import FaultCounters
-from repro.protocols import ProtoConfig, ProtocolError, get_protocol
+from repro.protocols import ProtocolError
 from repro.sim.units import KiB
 from repro.thrift.errors import (TTransportException,
                                  transport_exception_from_wc)
@@ -37,7 +39,13 @@ from repro.verbs.cq import PollMode
 from repro.verbs.errors import QPStateError, WCError
 
 __all__ = ["ChannelPlan", "FunctionRoute", "HatRpcEngine", "ServicePlan",
-           "build_service_plan", "pinned_plan"]
+           "build_service_plan", "pinned_plan", "plan_with_window"]
+
+#: bounds on the in-flight window derived from the concurrency hint: at
+#: least 4 (a window of 2-3 barely overlaps anything) and at most 64 (the
+#: eager receive-ring depth -- a wider window could overrun the ring).
+_MIN_WINDOW = 4
+_MAX_WINDOW = 64
 
 #: headroom added to the payload hint when sizing connection buffers
 _MAX_MSG_SLACK = 8 * KiB
@@ -65,6 +73,9 @@ class ChannelPlan:
     #: True when derived from hints (enables hint-only tuning like RFP
     #: slot sizing); pinned baseline plans keep stock settings.
     hinted: bool = True
+    #: in-flight window this channel is provisioned for (slot count on the
+    #: wire, admission bound in the engine); 1 = classic blocking geometry.
+    window: int = 1
 
     def key(self):
         return (self.transport, self.protocol, self.server_poll,
@@ -93,14 +104,18 @@ class ServicePlan:
 def build_service_plan(service: str,
                        hint_map: Mapping[str, Any],
                        function_names: Sequence[str],
-                       concurrency_override: Optional[int] = None
+                       concurrency_override: Optional[int] = None,
+                       pipeline: bool = False
                        ) -> ServicePlan:
     """Derive the channel plan for one service.
 
     ``hint_map`` is the generated ``SERVICE_HINTS[service]`` entry
     ({'service': {...}, 'functions': {fn: {...}}}).  ``concurrency_override``
     lets deployments inject the real expected client count when the IDL
-    author left it unspecified.
+    author left it unspecified.  ``pipeline=True`` provisions RDMA channels
+    for overlapped requests: the in-flight window is sized from the
+    concurrency hint (clamped to [4, 64]) and both peers must pass the same
+    flag -- window size changes the wire-slot geometry.
     """
     service_map = hint_map.get("service", {})
     fn_maps = hint_map.get("functions", {})
@@ -130,12 +145,14 @@ def build_service_plan(service: str,
                client_choice.poll_mode, server.numa_binding,
                client.numa_binding, small)
         entry = keyed.setdefault(key, {"functions": [], "max_msg": 0,
-                                       "resp": 0})
+                                       "resp": 0, "conc": 1})
         entry["functions"].append(fn)
         floor = sel_payload if payload_hinted else max(sel_payload,
                                                        _UNHINTED_MAX_MSG)
         entry["max_msg"] = max(entry["max_msg"], floor + _MAX_MSG_SLACK)
         entry["resp"] = max(entry["resp"], server.payload_size)
+        entry["conc"] = max(entry["conc"], server.concurrency,
+                            client.concurrency)
         routes[fn] = {"key": key, "resp_hint": server.payload_size,
                       "server": server, "client": client, "choice": wire}
 
@@ -153,13 +170,17 @@ def build_service_plan(service: str,
     for i, (key, entry) in enumerate(sorted(keyed.items(),
                                             key=lambda kv: repr(kv[0]))):
         transport, protocol, s_poll, c_poll, s_numa, c_numa, _small = key
+        window = 1
+        if pipeline and transport == "rdma":
+            window = min(max(entry["conc"], _MIN_WINDOW), _MAX_WINDOW)
         channels.append(ChannelPlan(
             index=i, transport=transport, protocol=protocol,
             server_poll=s_poll, client_poll=c_poll,
             server_numa=s_numa, client_numa=c_numa,
             max_msg=entry["max_msg"],
             resp_size=entry["resp"],
-            functions=tuple(entry["functions"])))
+            functions=tuple(entry["functions"]),
+            window=window))
         key_to_index[key] = i
     final_routes = {
         fn: FunctionRoute(channel=key_to_index[r["key"]],
@@ -176,12 +197,14 @@ def build_service_plan(service: str,
 def pinned_plan(service: str, function_names: Sequence[str], protocol: str,
                 poll_mode: PollMode, max_msg: int,
                 numa_local: bool = True,
-                resp_hint: int = 4 * KiB) -> ServicePlan:
+                resp_hint: int = 4 * KiB,
+                window: int = 1) -> ServicePlan:
     """A one-channel plan with a fixed protocol + polling, ignoring hints.
 
     This is how the paper's per-protocol baselines (e.g. "Thrift over
     Hybrid-EagerRNDV") are expressed: the same generated code and runtime,
-    with the hint machinery bypassed.
+    with the hint machinery bypassed.  ``window > 1`` provisions the channel
+    for pipelined calls (both peers must agree on it).
     """
     transport = "tcp" if protocol == "tcp" else "rdma"
     channel = ChannelPlan(index=0, transport=transport,
@@ -189,8 +212,8 @@ def pinned_plan(service: str, function_names: Sequence[str], protocol: str,
                           server_poll=poll_mode, client_poll=poll_mode,
                           server_numa=numa_local, client_numa=numa_local,
                           max_msg=max_msg, resp_size=resp_hint,
-                          functions=tuple(function_names), hinted=False)
-    from repro.core.selector import ProtocolChoice
+                          functions=tuple(function_names), hinted=False,
+                          window=window if transport == "rdma" else 1)
     choice = ProtocolChoice(transport, channel.protocol, poll_mode,
                             "pinned baseline")
     reg = obs.current()
@@ -204,10 +227,103 @@ def pinned_plan(service: str, function_names: Sequence[str], protocol: str,
     return ServicePlan(service=service, channels=(channel,), routes=routes)
 
 
+def plan_with_window(plan: ServicePlan, window: int) -> ServicePlan:
+    """``plan`` with every RDMA channel re-provisioned for ``window``
+    in-flight calls.  Apply it on *both* peers -- the window sets the
+    wire-slot geometry, which the direct-write blob exchange does not
+    carry."""
+    channels = tuple(
+        replace(ch, window=window) if ch.transport == "rdma" else ch
+        for ch in plan.channels)
+    return replace(plan, channels=channels)
+
+
 #: exceptions that mean "this channel's transport failed" (as opposed to
 #: application errors, which ride inside successful responses)
 _CHANNEL_ERRORS = (WCError, QPStateError, ProtocolError, ConnectionError,
                    TTransportException)
+
+
+class _PendingCall:
+    """One asynchronous call from post to completion.
+
+    Owns the engine-side bookkeeping a blocking call does inline: the
+    in-flight gauge, breaker verdicts, per-channel metrics, and the trace.
+    :class:`~repro.core.pipeline.ChannelPipeline` drives ``wire`` /
+    ``complete`` / ``fail``; the engine drives the rest.
+    """
+
+    __slots__ = ("engine", "fn", "route", "message", "oneway", "seqid",
+                 "handle", "act", "attempt", "channel", "t_start",
+                 "_gauge_idx")
+
+    def __init__(self, engine, fn, route, message, oneway, seqid, handle,
+                 act):
+        self.engine = engine
+        self.fn = fn
+        self.route = route
+        self.message = message
+        self.oneway = oneway
+        self.seqid = seqid
+        self.handle = handle
+        self.act = act
+        self.attempt = 0
+        self.channel = -1
+        self.t_start = engine.node.sim.now
+        self._gauge_idx = None
+
+    @property
+    def resp_hint(self):
+        return self.route.resp_hint
+
+    def wire(self, pip_seq):
+        """The bytes for the wire: [trace envelope][pip header][message]."""
+        env = self.act.envelope() if self.act is not None else b""
+        pip = pack_pip(pip_seq) if pip_seq is not None else b""
+        return env + pip + self.message
+
+    def mark_inflight(self, idx: int) -> None:
+        self.channel = idx
+        self.handle.channel = idx
+        m = self.engine._chan_metrics.get(idx)
+        if m is not None:
+            m[3].inc()
+            self._gauge_idx = idx
+
+    def drop_gauge(self) -> None:
+        """Decrement the in-flight gauge exactly once, whatever the path."""
+        if self._gauge_idx is not None:
+            m = self.engine._chan_metrics.get(self._gauge_idx)
+            if m is not None:
+                m[3].dec()
+            self._gauge_idx = None
+
+    def complete(self, resp) -> None:
+        eng = self.engine
+        now = eng.node.sim.now
+        self.drop_gauge()
+        eng._breaker(self.channel).record_success()
+        eng.calls_routed += 1
+        if eng._obs is not None:
+            eng._m_calls.inc()
+            eng._m_latency.record(now - self.t_start)
+            m = eng._chan_metrics.get(self.channel)
+            if m is not None:
+                m[0].inc()
+                m[1].inc(len(self.message))
+                m[2].inc(len(resp or b""))
+        if self.act is not None:
+            self.act.end_attempt(now, status="ok")
+            self.act.finish(now, status="ok",
+                            resp_bytes=len(resp or b""))
+        self.handle._resolve(b"" if self.oneway else resp)
+
+    def fail(self, exc: BaseException) -> None:
+        self.drop_gauge()
+        if self.act is not None:
+            self.act.finish(self.engine.node.sim.now,
+                            status=type(exc).__name__)
+        self.handle._fail(exc)
 
 
 class HatRpcEngine:
@@ -244,7 +360,8 @@ class HatRpcEngine:
                  deadline: Optional[float] = None,
                  retry_policy: Optional[RetryPolicy] = None,
                  idempotent: Sequence[str] = (),
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 seqid_cache: int = 4096):
         self.node = node
         self.plan = plan
         self.base_service_id = base_service_id
@@ -258,7 +375,8 @@ class HatRpcEngine:
         self._breakers: Dict[int, CircuitBreaker] = {}
         self._failover_order: Dict[int, List[int]] = {}
         self._last_channel: Dict[int, int] = {}   # primary idx -> last used
-        self._sent_seqids: set = set()
+        self._sent_seqids = BoundedSeqidSet(cap=seqid_cache)
+        self._pipelines: Dict[int, ChannelPipeline] = {}
         self._connected = False
         self._closed = False
         self.calls_routed = 0
@@ -307,14 +425,28 @@ class HatRpcEngine:
         return self._connected
 
     def close(self) -> None:
-        """Tear down every channel.  Idempotent."""
+        """Tear down every channel.  Idempotent.
+
+        Resilience state is reset too: stale breakers and routing memory
+        from a previous connection would otherwise leak into the next
+        ``connect()`` -- e.g. a phantom ``failback`` event on the first
+        call of a fresh connection because ``_last_channel`` still recorded
+        the old one's failover."""
         if self._closed:
             return
         self._closed = True
         self._connected = False
+        err = TTransportException(TTransportException.NOT_OPEN,
+                                  "engine closed with calls in flight")
+        for pipe in self._pipelines.values():
+            for entry in pipe.drain():
+                entry.fail(err)
+        self._pipelines.clear()
         for chan in self._channels.values():
             chan.close()
         self._channels.clear()
+        self._breakers.clear()
+        self._last_channel.clear()
 
     def mark_idempotent(self, *fn_names: str) -> None:
         """Register functions that are safe to re-send after a failure."""
@@ -338,6 +470,7 @@ class HatRpcEngine:
                 self._obs.counter(f"engine.{proto}.req_bytes"),
                 self._obs.counter(f"engine.{proto}.resp_bytes"),
                 self._obs.gauge(f"engine.ch{ch.index}.inflight"),
+                self._obs.gauge(f"engine.ch{ch.index}.window_occupancy"),
             )
             self._obs.counter("engine.channels_opened").inc()
         return chan
@@ -372,6 +505,11 @@ class HatRpcEngine:
         return order
 
     def _discard_channel(self, idx: int) -> None:
+        pipe = self._pipelines.pop(idx, None)
+        if pipe is not None and not pipe.dead:
+            # Sweeps the pipeline's in-flight entries through _pipeline_dead
+            # (the pipe is popped first, so the re-pop there is a no-op).
+            pipe._die(ConnectionError(f"channel {idx} discarded"))
         chan = self._channels.pop(idx, None)
         if chan is not None:
             chan.close()
@@ -413,6 +551,15 @@ class HatRpcEngine:
         if route is None:
             raise KeyError(f"function {fn_name!r} not in service plan "
                            f"for {self.plan.service!r}")
+        pipe = self._pipelines.get(route.channel)
+        if pipe is not None and not pipe.dead and pipe.pending:
+            # A pipeline is active on this channel: a second blocking
+            # receiver on the same CQ would steal its completions, so the
+            # call rides the async path under the same window.
+            handle = yield from self.call_async(fn_name, message,
+                                                oneway=oneway, seqid=seqid)
+            budget = deadline if deadline is not None else self.deadline
+            return (yield from handle.wait(budget))
         if self._trc is None:
             return (yield from self._call_inner(fn_name, route, message,
                                                 oneway, seqid, deadline,
@@ -483,6 +630,11 @@ class HatRpcEngine:
         # discard whatever channel it was using -- its wire state is unknown.
         attempt.defuse()
         attempt.interrupt("deadline")
+        if act is not None:
+            # The interrupted process never reaches its own end_attempt;
+            # close the span here so the committed trace has no dangling
+            # attempt and stage attribution doesn't miscount the tail.
+            act.end_attempt(sim.now, status="interrupted")
         self.faults.timeouts += 1
         self._trace("timeout", fn_name, route.channel, f"budget={budget}")
         self._discard_channel(self._last_channel.get(route.channel,
@@ -546,12 +698,18 @@ class HatRpcEngine:
                 # is empty for unsampled, unfaulted calls.
                 wire_msg = message if act is None \
                     else act.envelope() + message
-                resp = yield from chan.call(wire_msg,
-                                            resp_hint=route.resp_hint,
-                                            oneway=oneway, trace=act)
+                try:
+                    resp = yield from chan.call(wire_msg,
+                                                resp_hint=route.resp_hint,
+                                                oneway=oneway, trace=act)
+                finally:
+                    # Every exit path decrements -- including a deadline
+                    # interrupt delivered into chan.call, which used to
+                    # leave the gauge permanently high.
+                    if inflight is not None:
+                        inflight.dec()
+                        inflight = None
             except _CHANNEL_ERRORS as exc:
-                if inflight is not None:
-                    inflight.dec()
                 last_exc = self._map_error(exc)
                 if act is not None:
                     # Close the attempt before recording events so faults
@@ -584,8 +742,6 @@ class HatRpcEngine:
             breaker.record_success()
             self.calls_routed += 1
             if self._obs is not None:
-                if inflight is not None:
-                    inflight.dec()
                 self._m_calls.inc()
                 self._m_latency.record(self.node.sim.now - t_start)
                 m = self._chan_metrics.get(idx)
@@ -599,6 +755,277 @@ class HatRpcEngine:
         raise TTransportException(
             TTransportException.NOT_OPEN,
             f"no channel available for {fn_name}: all circuit breakers open")
+
+    # -- the asynchronous (pipelined) call path ------------------------------
+    def call_async(self, fn_name: str, message: bytes, oneway: bool = False,
+                   seqid: Optional[int] = None):
+        """Coroutine: post one serialized message without waiting for the
+        response; returns a :class:`~repro.core.pipeline.CallHandle`.
+
+        Up to the channel's ``window`` calls overlap on one connection;
+        posting the window-plus-first call blocks here until a slot frees
+        (the backpressure).  Results -- and failures -- surface at
+        ``yield from handle.wait()``.  Channels whose protocol cannot
+        pipeline (TCP, rendezvous) still work: the window degrades to one
+        call at a time, preserving the API.
+        """
+        if not self._connected:
+            raise RuntimeError("engine not connected")
+        route = self.plan.routes.get(fn_name)
+        if route is None:
+            raise KeyError(f"function {fn_name!r} not in service plan "
+                           f"for {self.plan.service!r}")
+        if fn_name not in self.idempotent_fns and seqid is not None \
+                and (fn_name, seqid) in self._sent_seqids:
+            self.faults.blind_retries_prevented += 1
+            self._trace("blind_retry_prevented", fn_name, route.channel,
+                        f"seqid={seqid}")
+            raise TTransportException(
+                TTransportException.UNKNOWN,
+                f"refusing to re-send non-idempotent {fn_name} seqid={seqid};"
+                " re-issue the call under a fresh seqid")
+        sim = self.node.sim
+        handle = CallHandle(sim, fn_name)
+        handle._engine = self
+        act = None
+        if self._trc is not None:
+            ch = self.plan.channels[route.channel]
+            act = self._trc.start_call(
+                fn_name, self.node.name, lambda: sim.now,
+                attrs={
+                    "perf_goal": route.server_hints.perf_goal,
+                    "protocol": ch.protocol or "tcp",
+                    "transport": ch.transport,
+                    "window": ch.window,
+                    "req_bytes": len(message),
+                    "oneway": oneway,
+                    "async": True,
+                })
+        entry = _PendingCall(self, fn_name, route, message, oneway, seqid,
+                             handle, act)
+        yield from self._submit_entry(entry)
+        return handle
+
+    def call_many(self, calls: Sequence[tuple],
+                  return_exceptions: bool = False):
+        """Coroutine: issue a batch of calls under the in-flight window and
+        gather every result.
+
+        ``calls`` is a sequence of ``(fn_name, message)`` (optionally
+        ``(fn_name, message, oneway, seqid)``) tuples.  All requests are
+        posted before the first response is awaited, so per-call round-trip
+        latency amortizes across the batch.  Results come back in call
+        order; with ``return_exceptions`` per-call failures are returned in
+        place, otherwise the first failure is raised after the batch
+        settles.
+        """
+        sim = self.node.sim
+        batch = None
+        if self._trc is not None:
+            batch = self._trc.start_call(
+                "call_many", self.node.name, lambda: sim.now,
+                attrs={"n": len(calls), "service": self.plan.service})
+        try:
+            t0 = sim.now
+            handles = []
+            for item in calls:
+                fn, message = item[0], item[1]
+                oneway = item[2] if len(item) > 2 else False
+                seqid = item[3] if len(item) > 3 else None
+                handles.append((yield from self.call_async(
+                    fn, message, oneway=oneway, seqid=seqid)))
+            if batch is not None:
+                batch.stage("post", t0, sim.now, n=len(handles))
+            t1 = sim.now
+            results: List[Any] = []
+            first_exc: Optional[Exception] = None
+            for h in handles:
+                try:
+                    results.append((yield from h.wait()))
+                except Exception as exc:
+                    if first_exc is None:
+                        first_exc = exc
+                    results.append(exc)
+            if batch is not None:
+                batch.stage("gather", t1, sim.now)
+        except BaseException as exc:
+            if batch is not None:
+                batch.finish(sim.now, status=type(exc).__name__)
+            raise
+        if batch is not None:
+            batch.finish(sim.now, status="ok" if first_exc is None
+                         else type(first_exc).__name__)
+        if first_exc is not None and not return_exceptions:
+            raise first_exc
+        return results
+
+    def _submit_entry(self, entry: _PendingCall):
+        """Coroutine: put one pending call on a channel, retrying channel
+        establishment / admission failures under the retry policy.  On
+        exhaustion the entry is *failed*, never raised -- async failures
+        surface at the handle."""
+        policy = self.retry_policy
+        sim = self.node.sim
+        while entry.attempt < policy.max_attempts:
+            idx = self._pick_channel(entry.route, len(entry.message))
+            if idx is None:
+                break  # every candidate's breaker is open
+            breaker = self._breaker(idx)
+            try:
+                pipe = yield from self._pipeline_for(idx)
+            except _CHANNEL_ERRORS as exc:
+                breaker.record_failure()
+                self.faults.channel_failures += 1
+                self._trace("channel_error", entry.fn, idx,
+                            type(exc).__name__)
+                self._discard_channel(idx)
+                entry.attempt += 1
+                if entry.attempt < policy.max_attempts:
+                    yield from self._async_backoff(entry, idx)
+                    continue
+                entry.fail(self._map_error(exc))
+                return
+            if entry.act is not None:
+                ch_plan = self.plan.channels[idx]
+                entry.act.begin_attempt(sim.now, attempt=entry.attempt,
+                                        channel=idx,
+                                        protocol=ch_plan.protocol or "tcp",
+                                        transport=ch_plan.transport)
+            if entry.seqid is not None:
+                self._sent_seqids.add((entry.fn, entry.seqid))
+            self._note_routing(entry.fn, entry.route, idx)
+            p = sim.active_process
+            prev_ctx = p.trace_ctx if p is not None else None
+            if p is not None:
+                p.trace_ctx = entry.act
+            try:
+                yield from pipe.submit(entry)
+            except PipelineDead as exc:
+                if entry.act is not None:
+                    entry.act.end_attempt(sim.now, status="error",
+                                          error="PipelineDead")
+                cause = exc.__cause__
+                entry.attempt += 1
+                if cause is None:
+                    # Died while this entry waited for a window slot: it
+                    # never reached the wire (the sweep already charged the
+                    # breaker), so re-picking is always safe.
+                    if entry.attempt < policy.max_attempts \
+                            and self._connected:
+                        continue
+                    entry.fail(self._map_error(exc))
+                    return
+                # The post itself failed: wire state is unknown.
+                breaker.record_failure()
+                self.faults.channel_failures += 1
+                self._trace("channel_error", entry.fn, idx,
+                            type(cause).__name__)
+                self._discard_channel(idx)
+                if entry.fn not in self.idempotent_fns:
+                    self.faults.blind_retries_prevented += 1
+                    self._trace("blind_retry_prevented", entry.fn, idx,
+                                f"seqid={entry.seqid}")
+                    entry.fail(self._map_error(cause))
+                    return
+                if entry.attempt < policy.max_attempts:
+                    yield from self._async_backoff(entry, idx)
+                    continue
+                entry.fail(self._map_error(cause))
+                return
+            finally:
+                if p is not None:
+                    p.trace_ctx = prev_ctx
+            entry.mark_inflight(idx)
+            return
+        entry.fail(TTransportException(
+            TTransportException.NOT_OPEN,
+            f"no channel available for {entry.fn}: "
+            "all circuit breakers open"))
+
+    def _async_backoff(self, entry: _PendingCall, idx: int):
+        self.faults.retries += 1
+        delay = self.retry_policy.backoff(entry.attempt - 1, self.rng)
+        self._trace("retry", entry.fn, idx,
+                    f"attempt={entry.attempt} backoff={delay:.2e}")
+        t_back = self.node.sim.now
+        yield self.node.sim.timeout(delay)
+        if entry.act is not None:
+            entry.act.stage("backoff", t_back, self.node.sim.now,
+                            attempt=entry.attempt)
+
+    def _pipeline_for(self, idx: int):
+        """Coroutine: the live pipeline for channel ``idx``, opening the
+        channel (and creating the pipeline) on first use."""
+        pipe = self._pipelines.get(idx)
+        if pipe is not None and not pipe.dead:
+            return pipe
+        chan = self._channels.get(idx)
+        if chan is None:
+            chan = yield from self._open_channel(self.plan.channels[idx])
+        m = self._chan_metrics.get(idx)
+        pipe = ChannelPipeline(self.node.sim, chan,
+                               window=self.plan.channels[idx].window,
+                               index=idx, error_types=_CHANNEL_ERRORS,
+                               on_dead=self._pipeline_dead,
+                               occupancy=m[4] if m is not None else None)
+        self._pipelines[idx] = pipe
+        return pipe
+
+    def _pipeline_dead(self, pipe: ChannelPipeline, entries, exc) -> None:
+        """A channel died with calls in flight: charge the breaker, discard
+        the connection, then retry idempotent calls elsewhere and fail the
+        rest -- one in-flight call's fate never blocks its neighbors'."""
+        idx = pipe.index
+        self._breaker(idx).record_failure()
+        self.faults.channel_failures += 1
+        self._trace("channel_error", entries[0].fn if entries else "", idx,
+                    type(exc).__name__)
+        self._pipelines.pop(idx, None)
+        self._discard_channel(idx)
+        mapped = self._map_error(exc)
+        policy = self.retry_policy
+        now = self.node.sim.now
+        for entry in entries:
+            entry.drop_gauge()
+            if entry.act is not None:
+                entry.act.end_attempt(now, status="error",
+                                      error=type(exc).__name__)
+            entry.attempt += 1
+            if entry.fn not in self.idempotent_fns:
+                self.faults.blind_retries_prevented += 1
+                self._trace("blind_retry_prevented", entry.fn, idx,
+                            f"seqid={entry.seqid}")
+                entry.fail(mapped)
+            elif entry.attempt < policy.max_attempts and self._connected:
+                self.faults.retries += 1
+                delay = policy.backoff(entry.attempt - 1, self.rng)
+                self._trace("retry", entry.fn, idx,
+                            f"attempt={entry.attempt} backoff={delay:.2e}")
+                self.node.sim.process(self._resubmit(entry, delay),
+                                      name=f"resubmit-{entry.fn}")
+            else:
+                entry.fail(mapped)
+
+    def _resubmit(self, entry: _PendingCall, delay: float):
+        """Detached process: back off, then re-run submission for one
+        swept in-flight call."""
+        t_back = self.node.sim.now
+        yield self.node.sim.timeout(delay)
+        if entry.act is not None:
+            entry.act.stage("backoff", t_back, self.node.sim.now,
+                            attempt=entry.attempt)
+        try:
+            yield from self._submit_entry(entry)
+        except Exception as exc:
+            entry.fail(exc)
+
+    def _note_abandoned(self, handle: CallHandle) -> None:
+        """A waiter timed out on a still-in-flight pipelined call: account
+        it as a timeout, but leave the wire alone -- the late response is
+        dropped on arrival and window neighbors keep flowing."""
+        self.faults.timeouts += 1
+        self._trace("timeout", handle.fn, handle.channel,
+                    "abandoned in-flight (pipelined)")
 
     def _pick_channel(self, route: FunctionRoute, msg_len: int
                       ) -> Optional[int]:

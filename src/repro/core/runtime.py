@@ -18,7 +18,9 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.core.engine import HatRpcEngine, ServicePlan, build_service_plan
-from repro.core.trdma import HintedProtocol, TRdma, TRdmaServerTransport
+from repro.core.pipeline import pack_pip, split_pip
+from repro.core.trdma import (HintedProtocol, TRdma, TRdmaServerTransport,
+                              _PAUSE, _AsyncTRdma)
 from repro.protocols import ProtoConfig, get_protocol
 from repro.thrift.errors import TTransportException
 from repro.thrift.protocol.binary import TBinaryProtocol
@@ -30,22 +32,30 @@ from repro.thrift.transport import (
 )
 from repro.thrift.server import TThreadedServer
 
-__all__ = ["HatRpcClient", "HatRpcServer", "RdmaChannel", "TcpChannel",
-           "hatrpc_connect", "service_plan_of"]
+__all__ = ["AsyncCaller", "HatRpcClient", "HatRpcServer", "RdmaChannel",
+           "StubCallHandle", "TcpChannel", "hatrpc_connect",
+           "service_plan_of"]
 
 DEFAULT_BASE_SERVICE_ID = 5000
 
 
 def service_plan_of(gen_module, service_name: str,
-                    concurrency: Optional[int] = None) -> ServicePlan:
-    """Build the channel plan from a generated module's hint map."""
+                    concurrency: Optional[int] = None,
+                    pipeline: bool = False) -> ServicePlan:
+    """Build the channel plan from a generated module's hint map.
+
+    ``pipeline=True`` provisions RDMA channels for overlapped in-flight
+    requests (window sized from the concurrency hint); both peers must
+    build their plan with the same flag.
+    """
     hint_map = gen_module.SERVICE_HINTS.get(service_name)
     if hint_map is None:
         raise KeyError(f"service {service_name!r} not found in generated "
                        f"module (has: {sorted(gen_module.SERVICE_HINTS)})")
     functions = gen_module.SERVICE_FUNCTIONS[service_name]
     return build_service_plan(service_name, hint_map, functions,
-                              concurrency_override=concurrency)
+                              concurrency_override=concurrency,
+                              pipeline=pipeline)
 
 
 # ---------------------------------------------------------------------------
@@ -64,7 +74,8 @@ class RdmaChannel:
         # hint-derived plan sizes it to the expected response.
         cfg = ProtoConfig(poll_mode=channel_plan.client_poll,
                           max_msg=channel_plan.max_msg,
-                          numa_local=channel_plan.client_numa)
+                          numa_local=channel_plan.client_numa,
+                          window=channel_plan.window)
         if channel_plan.hinted:
             # Hint-informed speculative-READ sizing, capped: probing with a
             # huge READ wastes wire on every not-ready retry, so beyond the
@@ -72,6 +83,11 @@ class RdmaChannel:
             cfg = cfg.with_(rfp_first_read=min(channel_plan.resp_size + 1024,
                                                4096))
         self._client = client_cls(node.nic, cfg)
+        # Pipelining needs both a capable protocol AND a plan that
+        # provisioned multiple wire slots; window-1 channels keep the
+        # classic (single-outstanding) call path.
+        self.supports_pipelining = (self._client.supports_pipelining
+                                    and channel_plan.window > 1)
 
     def open(self, remote_node, service_id: int):
         try:
@@ -88,6 +104,14 @@ class RdmaChannel:
         return (yield from self._client.call(message, resp_hint=resp_hint,
                                              trace=trace))
 
+    def post(self, message: bytes):
+        """Coroutine: pipelined send half (pair with :meth:`recv`)."""
+        yield from self._client.post(message)
+
+    def recv(self):
+        """Coroutine: next response in arrival order (pipelined)."""
+        return (yield from self._client.recv())
+
     def close(self) -> None:
         # Error the QP pair: the peer-side flush wakes the server's serve
         # loop so it can release the connection.
@@ -96,6 +120,8 @@ class RdmaChannel:
 
 class TcpChannel:
     """One framed-TCP connection (hybrid-transport channels)."""
+
+    supports_pipelining = False
 
     def __init__(self, node, remote_node, port: int):
         self.node = node
@@ -141,7 +167,8 @@ class HatRpcServer:
                  base_service_id: int = DEFAULT_BASE_SERVICE_ID,
                  protocol_factory: Callable = TBinaryProtocol,
                  concurrency: Optional[int] = None,
-                 plan: Optional[ServicePlan] = None):
+                 plan: Optional[ServicePlan] = None,
+                 pipeline: bool = False):
         self.node = node
         self.gen = gen_module
         self.service_name = service_name
@@ -149,7 +176,7 @@ class HatRpcServer:
         self.base_service_id = base_service_id
         self.protocol_factory = protocol_factory
         self.plan = plan or service_plan_of(gen_module, service_name,
-                                            concurrency)
+                                            concurrency, pipeline=pipeline)
         self.processor = getattr(gen_module, f"{service_name}Processor")(
             handler)
         self.endpoint = TRdmaServerTransport(node, self.plan, base_service_id)
@@ -166,7 +193,8 @@ class HatRpcServer:
                 _, server_cls = get_protocol(ch.protocol)
                 cfg = ProtoConfig(poll_mode=ch.server_poll,
                                   max_msg=ch.max_msg,
-                                  numa_local=ch.server_numa)
+                                  numa_local=ch.server_numa,
+                                  window=ch.window)
                 server = server_cls(self.node.nic, sid,
                                     self._bytes_handler(), cfg)
                 server.start()
@@ -187,6 +215,11 @@ class HatRpcServer:
         sim = self.node.sim
 
         def handle(request: bytes):
+            # A pipelined request leads with the engine's correlation
+            # header; strip it and echo it onto the response so the client
+            # receiver can pair out-of-order completions.  Sync requests
+            # have no header and stay byte-identical both ways.
+            pip_seq, request = split_pip(request)
             itrans = TMemoryBuffer(request)
             # Hand the serve loop's trace context (a ServerCall, or None)
             # to the processor, which has no simulator handle of its own.
@@ -197,7 +230,12 @@ class HatRpcServer:
             otrans = TMemoryBuffer()
             replied = yield from processor.process(factory(itrans),
                                                    factory(otrans))
-            return otrans.getvalue() if replied else b""
+            out = otrans.getvalue() if replied else b""
+            if pip_seq is not None:
+                # Echo even on an empty (oneway) reply: the header alone
+                # lets the client release the window slot.
+                return pack_pip(pip_seq) + out
+            return out
 
         return handle
 
@@ -211,12 +249,14 @@ class HatRpcClient:
                  concurrency: Optional[int] = None,
                  plan: Optional[ServicePlan] = None,
                  deadline: Optional[float] = None,
-                 retry_policy=None, idempotent=(), rng=None):
+                 retry_policy=None, idempotent=(), rng=None,
+                 pipeline: bool = False):
         self.node = node
         self.gen = gen_module
         self.service_name = service_name
+        self.protocol_factory = protocol_factory
         self.plan = plan or service_plan_of(gen_module, service_name,
-                                            concurrency)
+                                            concurrency, pipeline=pipeline)
         self.engine = HatRpcEngine(node, self.plan, base_service_id,
                                    deadline=deadline,
                                    retry_policy=retry_policy,
@@ -224,16 +264,163 @@ class HatRpcClient:
         self.trans = TRdma(self.engine)
         self.protocol = HintedProtocol(protocol_factory(self.trans),
                                        self.trans)
-        self.stub = getattr(gen_module, f"{service_name}Client")(
-            self.protocol)
+        self._stub_cls = getattr(gen_module, f"{service_name}Client")
+        self.stub = self._stub_cls(self.protocol)
+        self._async_caller: Optional["AsyncCaller"] = None
 
     def connect(self, remote_node):
         """Coroutine: open all channels; returns the generated client stub."""
         yield from self.engine.connect(remote_node)
         return self.stub
 
+    def async_caller(self) -> "AsyncCaller":
+        """The (cached) asynchronous driver for this client's stubs."""
+        if self._async_caller is None:
+            self._async_caller = AsyncCaller(self)
+        return self._async_caller
+
     def close(self) -> None:
         self.engine.close()
+
+
+class StubCallHandle:
+    """Completion handle for one asynchronous *stub* call.
+
+    Wraps the engine's :class:`~repro.core.pipeline.CallHandle` and the
+    paused generated-stub generator: ``yield from handle.wait()`` blocks
+    for the raw response, then resumes the stub to deserialize it --
+    returning the decoded result and raising declared IDL exceptions
+    exactly as the blocking path would.
+    """
+
+    def __init__(self, method: str, engine_handle, gen, trdma):
+        self.method = method
+        self.handle = engine_handle        # engine-level CallHandle
+        self._gen = gen                    # paused stub generator (None=oneway)
+        self._trdma = trdma
+        self._decoded = False
+        self._result = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self.handle.done
+
+    def wait(self, timeout: Optional[float] = None):
+        """Coroutine: the decoded result of the call (or its exception)."""
+        if self._decoded:
+            if self._error is not None:
+                raise self._error
+            return self._result
+        resp = yield from self.handle.wait(timeout)
+        self._decoded = True
+        if self._gen is None:              # oneway: nothing to decode
+            self._result = None
+            return None
+        try:
+            self._trdma.deliver(resp)
+            self._gen.send(None)
+        except StopIteration as stop:
+            self._result = stop.value
+            return stop.value
+        except BaseException as exc:
+            # Declared IDL exceptions / TApplicationException from the
+            # stub's receive half: cache so repeat waits re-raise.
+            self._error = exc
+            raise
+        raise RuntimeError(
+            f"stub generator for {self.method} paused unexpectedly")
+
+
+class AsyncCaller:
+    """Drives generated stub methods through the engine's pipelined path.
+
+    Generated stub methods are two-phase coroutines (send half, receive
+    half); the caller runs the send half against a capture transport
+    (:class:`repro.core.trdma._AsyncTRdma`), posts the captured message via
+    ``engine.call_async``, and parks the paused generator in a
+    :class:`StubCallHandle` to finish deserialization when the response
+    lands.  One shared seqid counter spans every async (and batch) call, so
+    the engine's duplicate-send gate keeps working.
+    """
+
+    def __init__(self, client: HatRpcClient):
+        self.client = client
+        self.engine = client.engine
+
+    def call_async(self, method: str, *args):
+        """Coroutine: issue ``stub.<method>(*args)`` without waiting;
+        returns a :class:`StubCallHandle`."""
+        trdma = _AsyncTRdma(self.engine)
+        proto = HintedProtocol(self.client.protocol_factory(trdma), trdma)
+        stub = self.client._stub_cls(proto)
+        # One numbering across every stub, sync AND async: the throwaway
+        # capture stub continues the connection stub's counter and writes
+        # it back, so no later call (on either path) can collide with an
+        # earlier seqid and trip the engine's duplicate-send gate.
+        stub._seqid = self.client.stub._seqid
+        gen = getattr(stub, method)(*args)
+        try:
+            paused = next(gen)
+        except StopIteration:
+            gen = None                     # oneway: send half ran to the end
+        else:
+            if paused is not _PAUSE:
+                raise RuntimeError(
+                    f"stub method {method} yielded mid-serialization; "
+                    "async stubs must not block before flush")
+        self.client.stub._seqid = stub._seqid
+        fn, message, oneway, seqid = trdma.captured
+        handle = yield from self.engine.call_async(fn, message,
+                                                   oneway=oneway,
+                                                   seqid=seqid)
+        return StubCallHandle(method, handle, gen, trdma)
+
+    def call_many(self, calls, timeout: Optional[float] = None):
+        """Coroutine: issue ``[(method, *args), ...]`` as one pipelined
+        batch and gather the decoded results in call order.
+
+        All requests post before the first response is awaited; per-call
+        round trips overlap under the channel window.  The first per-call
+        failure is raised after the batch settles.
+        """
+        eng = self.engine
+        sim = eng.node.sim
+        batch = None
+        if eng._trc is not None:
+            batch = eng._trc.start_call(
+                "call_many", eng.node.name, lambda: sim.now,
+                attrs={"n": len(calls), "service": self.client.service_name})
+        try:
+            t0 = sim.now
+            handles = []
+            for call in calls:
+                method, args = call[0], call[1:]
+                handles.append((yield from self.call_async(method, *args)))
+            if batch is not None:
+                batch.stage("post", t0, sim.now, n=len(handles))
+            t1 = sim.now
+            results = []
+            first_exc: Optional[Exception] = None
+            for h in handles:
+                try:
+                    results.append((yield from h.wait(timeout)))
+                except Exception as exc:
+                    if first_exc is None:
+                        first_exc = exc
+                    results.append(None)
+            if batch is not None:
+                batch.stage("gather", t1, sim.now)
+        except BaseException as exc:
+            if batch is not None:
+                batch.finish(sim.now, status=type(exc).__name__)
+            raise
+        if batch is not None:
+            batch.finish(sim.now, status="ok" if first_exc is None
+                         else type(first_exc).__name__)
+        if first_exc is not None:
+            raise first_exc
+        return results
 
 
 def hatrpc_connect(node, remote_node, gen_module, service_name: str,
@@ -242,18 +429,22 @@ def hatrpc_connect(node, remote_node, gen_module, service_name: str,
                    concurrency: Optional[int] = None,
                    plan: Optional[ServicePlan] = None,
                    deadline: Optional[float] = None,
-                   retry_policy=None, idempotent=(), rng=None):
+                   retry_policy=None, idempotent=(), rng=None,
+                   pipeline: bool = False):
     """Coroutine: one-call client setup; returns the generated stub.
 
     The stub's methods are coroutines: ``yield from stub.Method(...)``.
     Keep a reference to ``stub._hatrpc`` (the HatRpcClient) for close().
     ``deadline`` / ``retry_policy`` / ``idempotent`` / ``rng`` configure the
     engine's failure handling (see :class:`repro.core.engine.HatRpcEngine`).
+    ``pipeline=True`` provisions RDMA channels for overlapped in-flight
+    calls (drive them via ``stub._hatrpc.async_caller()``); the server must
+    be started with the same flag or the same plan.
     """
     client = HatRpcClient(node, gen_module, service_name, base_service_id,
                           protocol_factory, concurrency, plan,
                           deadline=deadline, retry_policy=retry_policy,
-                          idempotent=idempotent, rng=rng)
+                          idempotent=idempotent, rng=rng, pipeline=pipeline)
     stub = yield from client.connect(remote_node)
     stub._hatrpc = client
     return stub

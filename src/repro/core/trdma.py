@@ -24,6 +24,10 @@ from repro.thrift.ttypes import TMessageType
 
 __all__ = ["HintedProtocol", "TRdma", "TRdmaServerTransport"]
 
+#: sentinel yielded by _AsyncTRdma.ready() -- pauses the generated stub
+#: between its send and receive halves (see _AsyncTRdma).
+_PAUSE = object()
+
 
 class TRdma(TTransport):
     """Client-side message transport over a connected HatRpcEngine."""
@@ -86,6 +90,50 @@ class TRdma(TTransport):
         out = self._rbuf[self._rpos:self._rpos + n]
         self._rpos += len(out)
         return out
+
+
+class _AsyncTRdma(TRdma):
+    """Capture transport for the asynchronous stub path.
+
+    The generated stub methods are two-phase coroutines: serialize +
+    ``flush`` (send), then ``ready`` + deserialize (receive).  This
+    transport exploits that shape without touching the generated code:
+
+    * ``flush()`` does NOT call the engine -- it captures
+      ``(fn, message, oneway, seqid)`` for the caller to post via
+      ``engine.call_async``;
+    * ``ready()`` yields the :data:`_PAUSE` sentinel, so driving the stub
+      generator with ``next()`` runs serialization and stops right between
+      the halves.  When the response arrives, the caller loads ``_rbuf``
+      and resumes the generator, which deserializes and returns the result
+      (including throwing declared exceptions) exactly as the blocking
+      path would.
+
+    See :class:`repro.core.runtime.AsyncCaller` for the driver.
+    """
+
+    def __init__(self, engine: HatRpcEngine):
+        super().__init__(engine)
+        self.captured = None    # (fn, message, oneway, seqid)
+
+    def flush(self):
+        if self._current_fn is None:
+            raise RuntimeError(
+                "TRdma.flush without a method context; wrap the protocol "
+                "in HintedProtocol")
+        self.captured = (self._current_fn, bytes(self._wbuf),
+                         self._current_oneway, self._current_seqid)
+        self._wbuf.clear()
+        return
+        yield  # pragma: no cover
+
+    def ready(self):
+        yield _PAUSE
+
+    def deliver(self, resp: bytes) -> None:
+        """Load the response for the stub's receive half to read."""
+        self._rbuf = resp or b""
+        self._rpos = 0
 
 
 class HintedProtocol:

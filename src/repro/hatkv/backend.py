@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.hints import ResolvedHints
 from repro.lmdb import Environment, SyncMode
 from repro.sim.cluster import Node
@@ -52,6 +53,14 @@ class LmdbBackend:
         # LMDB's writer mutex, realized on the simulated clock so handler
         # coroutines queue instead of erroring.
         self._writer = Resource(node.sim, 1)
+        # Writer-queue depth probe: pipelined clients can now stack many
+        # writes behind the mutex on ONE connection, so the queue is worth
+        # watching (zero-cost when obs is disabled).
+        reg = obs.current()
+        if reg is not None:
+            reg.probe("hatkv.writer_queue",
+                      lambda: {"depth": len(self._writer._waiters),
+                               "in_use": self._writer.in_use})
         self._group_commit = False
         self._pending_since_commit = 0
         self.group_commit_batch = 8

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.engine import ServicePlan
-from repro.core.runtime import hatrpc_connect
+from repro.core.runtime import AsyncCaller, hatrpc_connect
 from repro.hatkv.server import BASE_SID, SERVICE
 
-__all__ = ["IDEMPOTENT_FUNCTIONS", "connect_hatkv"]
+__all__ = ["IDEMPOTENT_FUNCTIONS", "connect_hatkv", "multi_get",
+           "multi_put"]
 
 #: KVService functions that are safe to re-send after a transport failure:
 #: the read set.  Put/MultiPut are deliberately absent -- a lost-ACK retry
@@ -23,13 +24,16 @@ def connect_hatkv(node, server_node, gen_module,
                   plan: Optional[ServicePlan] = None,
                   base_service_id: int = BASE_SID,
                   deadline: Optional[float] = None,
-                  retry_policy=None, rng=None):
+                  retry_policy=None, rng=None,
+                  pipeline: bool = False):
     """Coroutine: a connected KVService stub.
 
     All stub methods are coroutines: ``value = yield from stub.Get(key)``.
     The read functions are pre-registered idempotent, so the engine may
     transparently retry / fail them over under injected faults; writes are
-    never blind-retried.
+    never blind-retried.  ``pipeline=True`` (matched by the server) enables
+    the batched helpers :func:`multi_get` / :func:`multi_put`, which
+    overlap the per-key round trips under the channel's in-flight window.
     """
     stub = yield from hatrpc_connect(node, server_node, gen_module, SERVICE,
                                      base_service_id=base_service_id,
@@ -37,5 +41,32 @@ def connect_hatkv(node, server_node, gen_module,
                                      deadline=deadline,
                                      retry_policy=retry_policy,
                                      idempotent=IDEMPOTENT_FUNCTIONS,
-                                     rng=rng)
+                                     rng=rng, pipeline=pipeline)
     return stub
+
+
+def _caller_of(stub) -> AsyncCaller:
+    client = getattr(stub, "_hatrpc", None)
+    if client is None:
+        raise RuntimeError("stub was not built by connect_hatkv / "
+                           "hatrpc_connect (no _hatrpc client attached)")
+    return client.async_caller()
+
+
+def multi_get(stub, keys: Sequence[bytes]):
+    """Coroutine: the values for ``keys``, fetched as one pipelined batch.
+
+    Unlike the server-side ``MultiGet`` (one big request), this issues one
+    ``Get`` per key under the channel's in-flight window -- the client-side
+    batching the engine's ``call_many`` provides.  Missing keys come back
+    as ``b""`` (the KV handler's convention).
+    """
+    return _caller_of(stub).call_many([("Get", key) for key in keys])
+
+
+def multi_put(stub, keys: Sequence[bytes], values: Sequence[bytes]):
+    """Coroutine: store ``values`` under ``keys`` as one pipelined batch."""
+    if len(keys) != len(values):
+        raise ValueError("keys/values length mismatch")
+    return _caller_of(stub).call_many(
+        [("Put", k, v) for k, v in zip(keys, values)])

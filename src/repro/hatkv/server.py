@@ -88,7 +88,8 @@ class HatKVServer:
                  concurrency: Optional[int] = None,
                  plan: Optional[ServicePlan] = None,
                  base_service_id: int = BASE_SID,
-                 tune_backend: bool = True):
+                 tune_backend: bool = True,
+                 pipeline: bool = False):
         self.node = node
         self.gen = gen_module
         self.backend = LmdbBackend(node, map_size=map_size)
@@ -104,9 +105,12 @@ class HatKVServer:
                 hints = replace(hints, concurrency=concurrency)
             self.backend.apply_hints(hints)
         self.handler = KVHandler(self.backend)
+        # pipeline=True provisions windowed channels; connect the clients
+        # with pipeline=True too -- both peers must share the plan.
         self.rpc = HatRpcServer(node, gen_module, SERVICE, self.handler,
                                 base_service_id=base_service_id,
-                                concurrency=concurrency, plan=plan)
+                                concurrency=concurrency, plan=plan,
+                                pipeline=pipeline)
 
     def start(self) -> "HatKVServer":
         self.rpc.start()

@@ -87,6 +87,12 @@ class ProtoConfig:
     numa_local: bool = True
     #: first-READ size for RFP's speculative response fetch
     rfp_first_read: int = 4 * KiB
+    #: in-flight window the connection is provisioned for: protocols with
+    #: per-call wire slots (direct-write staging/inbuf, eager send slots)
+    #: allocate ``window`` of them so overlapped requests never share a
+    #: slot.  1 = classic single-outstanding geometry (the default; both
+    #: peers must agree on the value).
+    window: int = 1
 
     def with_(self, **kw) -> "ProtoConfig":
         return replace(self, **kw)
@@ -103,6 +109,13 @@ class RpcClient:
 
     #: wire-protocol name, stamped by :func:`register_protocol`
     proto_name = "?"
+
+    #: True for protocols whose send/receive halves are independent enough
+    #: to overlap multiple calls on one connection (stateless per-call wire
+    #: slots, no single-valued rendezvous handshake).  The engine's
+    #: pipelined path only splits post/recv on these; everything else runs
+    #: call-at-a-time under the classic single-outstanding contract.
+    supports_pipelining = False
 
     def __init__(self, device: Device, cfg: Optional[ProtoConfig] = None):
         self.device = device
@@ -139,6 +152,17 @@ class RpcClient:
 
     def _call(self, request: bytes, resp_hint: int):
         raise NotImplementedError
+
+    # pipelining-capable subclasses implement (split halves of _call):
+    def _post(self, request: bytes):
+        raise ProtocolError(
+            f"{self.proto_name} cannot pipeline (no split post/recv)")
+        yield  # pragma: no cover
+
+    def _recv_one(self):
+        raise ProtocolError(
+            f"{self.proto_name} cannot pipeline (no split post/recv)")
+        yield  # pragma: no cover
 
     # common paths:
     def connect(self, remote_node, service_id: int):
@@ -194,6 +218,27 @@ class RpcClient:
             self._m_latency.record(self.sim.now - t_start)
             if qp is not None:
                 self._m_doorbells.inc(qp.doorbells - db_start)
+        return resp
+
+    def post(self, request: bytes):
+        """Coroutine: put one request on the wire without waiting for its
+        response (the pipelined send half; pair with :meth:`recv`)."""
+        if len(request) > self.cfg.max_msg:
+            raise ProtocolError(
+                f"request of {len(request)} bytes exceeds max_msg "
+                f"{self.cfg.max_msg}")
+        yield from self._post(request)
+        self.calls += 1
+        if self._m_ops is not None:
+            self._m_ops.inc()
+            self._m_req_bytes.inc(len(request))
+
+    def recv(self):
+        """Coroutine: the next response off the wire, in arrival order --
+        the caller correlates it (the pipelined receive half)."""
+        resp = yield from self._recv_one()
+        if self._m_resp_bytes is not None:
+            self._m_resp_bytes.inc(len(resp))
         return resp
 
     def _wait(self, cq: CQ, max_wc: int = 16):

@@ -62,11 +62,18 @@ class DirectWriteEndpoint:
         self.cfg = cfg
         self.flavor = flavor
         self._seq = 0
+        self._rseq = 0
+        # One wire slot per in-flight message: slot k serves sequence
+        # numbers k (mod slots), so a window of cfg.window messages never
+        # overlaps in either peer's buffers.  window=1 (the default)
+        # collapses to the classic single-slot geometry, byte for byte.
+        self.slots = max(1, cfg.window)
+        self._stride = HDR_BYTES + cfg.max_msg
         # Inbound message buffer, advertised to the peer.
-        self.inbuf = pd.reg_mr(HDR_BYTES + cfg.max_msg)
-        # Staging for outbound WRITE source + the tiny notify message.
-        self._staging = pd.reg_mr(HDR_BYTES + cfg.max_msg)
-        self._notify = pd.reg_mr(HDR_BYTES)
+        self.inbuf = pd.reg_mr(self.slots * self._stride)
+        # Staging for outbound WRITE sources + the tiny notify messages.
+        self._staging = pd.reg_mr(self.slots * self._stride)
+        self._notify = pd.reg_mr(self.slots * HDR_BYTES)
         self.peer_addr = 0
         self.peer_rkey = 0
 
@@ -94,25 +101,30 @@ class DirectWriteEndpoint:
         """Coroutine: WRITE header+payload to the peer's inbuf, then notify."""
         self._seq += 1
         seq = self._seq
+        off = ((seq - 1) % self.slots) * self._stride
         n = len(data)
         yield from self.device.memcpy(n, self.cfg.numa_local)
-        self._staging.write(pack_ctrl(K_NOTIFY, seq, n) + data)
+        self._staging.write(pack_ctrl(K_NOTIFY, seq, n) + data, offset=off)
         total = HDR_BYTES + n
         if self.flavor == F_IMM:
             yield from self.qp.post_send(
                 SendWR(Opcode.RDMA_WRITE_WITH_IMM,
-                       Sge(self._staging.addr, total, self._staging.lkey),
-                       remote_addr=self.peer_addr, rkey=self.peer_rkey,
+                       Sge(self._staging.addr + off, total,
+                           self._staging.lkey),
+                       remote_addr=self.peer_addr + off, rkey=self.peer_rkey,
                        imm=seq, signaled=False),
                 numa_local=self.cfg.numa_local)
             return
         write = SendWR(Opcode.RDMA_WRITE,
-                       Sge(self._staging.addr, total, self._staging.lkey),
-                       remote_addr=self.peer_addr, rkey=self.peer_rkey,
+                       Sge(self._staging.addr + off, total,
+                           self._staging.lkey),
+                       remote_addr=self.peer_addr + off, rkey=self.peer_rkey,
                        signaled=False)
-        self._notify.write(pack_ctrl(K_NOTIFY, seq, n))
+        noff = ((seq - 1) % self.slots) * HDR_BYTES
+        self._notify.write(pack_ctrl(K_NOTIFY, seq, n), offset=noff)
         notify = SendWR(Opcode.SEND,
-                        Sge(self._notify.addr, HDR_BYTES, self._notify.lkey),
+                        Sge(self._notify.addr + noff, HDR_BYTES,
+                            self._notify.lkey),
                         signaled=False)
         if self.flavor == F_CHAINED:
             write.next = notify                      # one doorbell
@@ -126,16 +138,24 @@ class DirectWriteEndpoint:
         """Coroutine: next inbound message (read in place from inbuf)."""
         wcs = yield from self.qp.recv_cq.wait(self.cfg.poll_mode, max_wc=1)
         wc = check_wc(wcs[0])
+        self._rseq += 1
         if wc.opcode is WCOpcode.RECV_RDMA_WITH_IMM:
-            kind, seq, length, _a, _k = unpack_ctrl(self.inbuf.read(HDR_BYTES))
+            # The IMM carries the sender's seq -> our slot (RC delivery is
+            # in-order, so the local counter agrees; the IMM is the
+            # authoritative copy).
+            seq = wc.imm or self._rseq
+            off = ((seq - 1) % self.slots) * self._stride
+            kind, seq, length, _a, _k = unpack_ctrl(
+                self.inbuf.read(HDR_BYTES, offset=off))
         else:
             kind, seq, length, _a, _k = unpack_ctrl(
                 self._ring[wc.wr_id].read(HDR_BYTES))
+            off = ((seq - 1) % self.slots) * self._stride
         if kind != K_NOTIFY:
             raise ProtocolError(f"unexpected control kind {kind}")
         yield from self._repost(wc.wr_id)
         # Payload is already in our inbuf -- read in place, no copy charged.
-        return self.inbuf.read(length, offset=HDR_BYTES)
+        return self.inbuf.read(length, offset=off + HDR_BYTES)
 
     def _repost(self, slot_idx: int):
         mr = self._ring[slot_idx]
@@ -145,6 +165,10 @@ class DirectWriteEndpoint:
 
 class _DWClient(RpcClient):
     flavor = F_SEPARATE
+
+    # Per-call wire slots are stateless between calls (slot = seq mod
+    # window on both peers), so send and receive halves overlap freely.
+    supports_pipelining = True
 
     def _setup_blob(self) -> bytes:
         self.ep = DirectWriteEndpoint(self.device, self.pd, self.qp,
@@ -161,6 +185,12 @@ class _DWClient(RpcClient):
         yield from self._staged("post", self.ep.send_msg(request),
                                 nbytes=len(request))
         return (yield from self._staged("complete", self.ep.recv_msg()))
+
+    def _post(self, request: bytes):
+        yield from self.ep.send_msg(request)
+
+    def _recv_one(self):
+        return (yield from self.ep.recv_msg())
 
 
 class _DWServer(RpcServer):

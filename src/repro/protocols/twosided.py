@@ -68,7 +68,11 @@ class TwoSidedEndpoint:
         slot_size = HDR_BYTES + self.slot_payload
         self._slots = [self.pd.reg_mr(slot_size)
                        for _ in range(self.cfg.ring_slots)]
-        self._send_slot = self.pd.reg_mr(slot_size)
+        # One send slot per in-flight message (seq picks the slot), so a
+        # pipelined window never rewrites a slot whose SEND is still being
+        # sourced.  window=1 keeps the classic single-slot geometry.
+        self._send_slots = [self.pd.reg_mr(slot_size)
+                            for _ in range(max(1, self.cfg.window))]
         self._staging = self.pd.reg_mr(self.cfg.max_msg)   # rendezvous source
         self._landing = self.pd.reg_mr(self.cfg.max_msg)   # rendezvous sink
         for i, mr in enumerate(self._slots):
@@ -86,13 +90,13 @@ class TwoSidedEndpoint:
 
     def _send_eager(self, data: bytes):
         hdr = pack_ctrl(K_EAGER, self._seq, len(data))
+        slot = self._send_slots[(self._seq - 1) % len(self._send_slots)]
         # Copy into the registered slot (the eager cost).
         yield from self.device.memcpy(len(data), self.cfg.numa_local)
-        self._send_slot.write(hdr + data)
+        slot.write(hdr + data)
         yield from self.qp.post_send(
             SendWR(Opcode.SEND,
-                   Sge(self._send_slot.addr, HDR_BYTES + len(data),
-                       self._send_slot.lkey),
+                   Sge(slot.addr, HDR_BYTES + len(data), slot.lkey),
                    signaled=False),
             numa_local=self.cfg.numa_local)
 
@@ -116,10 +120,11 @@ class TwoSidedEndpoint:
 
     def _send_ctrl(self, kind: int, seq: int, length: int,
                    addr: int = 0, rkey: int = 0):
-        self._send_slot.write(pack_ctrl(kind, seq, length, addr, rkey))
+        slot = self._send_slots[(seq - 1) % len(self._send_slots)]
+        slot.write(pack_ctrl(kind, seq, length, addr, rkey))
         yield from self.qp.post_send(
             SendWR(Opcode.SEND,
-                   Sge(self._send_slot.addr, HDR_BYTES, self._send_slot.lkey),
+                   Sge(slot.addr, HDR_BYTES, slot.lkey),
                    signaled=False),
             numa_local=self.cfg.numa_local)
 
@@ -222,6 +227,12 @@ class _TwoSidedClient(RpcClient):
                                 nbytes=len(request))
         return (yield from self._staged("complete", self.ep.recv_msg()))
 
+    def _post(self, request: bytes):
+        yield from self.ep.send_msg(request)
+
+    def _recv_one(self):
+        return (yield from self.ep.recv_msg())
+
 
 class _TwoSidedServer(RpcServer):
     flavor = "write"
@@ -253,6 +264,11 @@ class _TwoSidedServer(RpcServer):
 
 
 class EagerClient(_TwoSidedClient):
+    # Pure eager has no per-call rendezvous state (the single-valued
+    # _cts/_fin latches make the rndv/hybrid flavors pipeline-unsafe),
+    # so overlapped sends are fine once send slots rotate per seq.
+    supports_pipelining = True
+
     def _slot_payload(self): return self.cfg.max_msg
     def _threshold(self): return self.cfg.max_msg
 
