@@ -302,6 +302,8 @@ class _PendingCall:
         eng = self.engine
         now = eng.node.sim.now
         self.drop_gauge()
+        if self.seqid is not None:
+            eng._sent_seqids.unpin((self.fn, self.seqid))
         eng._breaker(self.channel).record_success()
         eng.calls_routed += 1
         if eng._obs is not None:
@@ -319,9 +321,28 @@ class _PendingCall:
         self.handle._resolve(b"" if self.oneway else resp)
 
     def fail(self, exc: BaseException) -> None:
+        eng = self.engine
         self.drop_gauge()
+        if self.seqid is not None:
+            eng._sent_seqids.unpin((self.fn, self.seqid))
+        # Last resort before surfacing the failure: a router holding
+        # replicas of this key's shard may take the call over (idempotent
+        # reads only -- a re-sent write could double-apply).
+        if (eng.sweep_reroute is not None and not self.handle.done
+                and eng._connected and self.fn in eng.idempotent_fns):
+            try:
+                taken = eng.sweep_reroute(self, exc)
+            except Exception:
+                taken = False
+            if taken:
+                eng.faults.reroutes += 1
+                eng._trace("reroute", self.fn, self.channel,
+                           type(exc).__name__)
+                if self.act is not None:
+                    self.act.finish(eng.node.sim.now, status="rerouted")
+                return
         if self.act is not None:
-            self.act.finish(self.engine.node.sim.now,
+            self.act.finish(eng.node.sim.now,
                             status=type(exc).__name__)
         self.handle._fail(exc)
 
@@ -361,7 +382,8 @@ class HatRpcEngine:
                  retry_policy: Optional[RetryPolicy] = None,
                  idempotent: Sequence[str] = (),
                  rng: Optional[random.Random] = None,
-                 seqid_cache: int = 4096):
+                 seqid_cache: int = 4096,
+                 trace_attrs: Optional[Mapping[str, Any]] = None):
         self.node = node
         self.plan = plan
         self.base_service_id = base_service_id
@@ -369,6 +391,14 @@ class HatRpcEngine:
         self.retry_policy = retry_policy or RetryPolicy()
         self.rng = rng or random.Random(0)
         self.idempotent_fns = set(idempotent)
+        #: extra attributes stamped onto every call's trace (a shard router
+        #: sets {"shard": N} so hint_select stages attribute per shard)
+        self.trace_attrs = dict(trace_attrs or {})
+        #: optional hook(entry, exc) -> bool consulted when an idempotent
+        #: asynchronous call exhausts every channel of THIS engine: a
+        #: returns-True taker (e.g. a shard router holding a replica's
+        #: engine) assumes ownership of the entry's handle.
+        self.sweep_reroute = None
         self.faults = FaultCounters()
         self.fault_trace: List[Tuple[float, str, str, int, str]] = []
         self._channels: Dict[int, Any] = {}
@@ -578,6 +608,7 @@ class HatRpcEngine:
                 "rationale": route.choice.rationale,
                 "req_bytes": len(message),
                 "oneway": oneway,
+                **self.trace_attrs,
             })
         act.stage("serialize",
                   sim.now if ser_start is None else ser_start, sim.now,
@@ -585,7 +616,8 @@ class HatRpcEngine:
         # The dynamic-hint path is the route lookup above -- cached
         # function type, so it costs no simulated time.
         act.stage("hint_select", sim.now, sim.now,
-                  channel=route.channel, rationale=route.choice.rationale)
+                  channel=route.channel, rationale=route.choice.rationale,
+                  **self.trace_attrs)
         p = sim.active_process
         prev_ctx = p.trace_ctx if p is not None else None
         if p is not None:
@@ -646,6 +678,19 @@ class HatRpcEngine:
     def _call_with_recovery(self, fn_name: str, route: FunctionRoute,
                             message: bytes, oneway: bool,
                             seqid: Optional[int], act=None):
+        """Coroutine wrapper: however the recovery loop exits (success,
+        exhaustion, deadline interrupt), the seqid comes off the live pin
+        so the ledger can evict it once it is merely historical."""
+        try:
+            return (yield from self._recovery_loop(fn_name, route, message,
+                                                   oneway, seqid, act))
+        finally:
+            if seqid is not None:
+                self._sent_seqids.unpin((fn_name, seqid))
+
+    def _recovery_loop(self, fn_name: str, route: FunctionRoute,
+                       message: bytes, oneway: bool,
+                       seqid: Optional[int], act=None):
         policy = self.retry_policy
         idempotent = fn_name in self.idempotent_fns
         call_key = (fn_name, seqid)
@@ -686,7 +731,10 @@ class HatRpcEngine:
                                   channel=idx)
                 sent = True
                 if seqid is not None:
-                    self._sent_seqids.add(call_key)
+                    # Pinned while in flight: cap pressure from later calls
+                    # must not evict a live seqid (that would silently
+                    # re-open the duplicate-send window).
+                    self._sent_seqids.add(call_key, pinned=True)
                 self._note_routing(fn_name, route, idx)
                 if self._obs is not None:
                     m = self._chan_metrics.get(idx)
@@ -800,6 +848,7 @@ class HatRpcEngine:
                     "req_bytes": len(message),
                     "oneway": oneway,
                     "async": True,
+                    **self.trace_attrs,
                 })
         entry = _PendingCall(self, fn_name, route, message, oneway, seqid,
                              handle, act)
@@ -892,7 +941,7 @@ class HatRpcEngine:
                                         protocol=ch_plan.protocol or "tcp",
                                         transport=ch_plan.transport)
             if entry.seqid is not None:
-                self._sent_seqids.add((entry.fn, entry.seqid))
+                self._sent_seqids.add((entry.fn, entry.seqid), pinned=True)
             self._note_routing(entry.fn, entry.route, idx)
             p = sim.active_process
             prev_ctx = p.trace_ctx if p is not None else None

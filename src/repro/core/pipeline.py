@@ -78,6 +78,13 @@ class BoundedSeqidSet:
     window, not by thousands of calls), so the oldest entries are evicted
     once the cap is reached -- a long-lived client no longer leaks one
     tuple per call forever.
+
+    A seqid whose call is still in flight must never be evicted, whatever
+    the cap pressure: losing it silently re-opens the duplicate-send window
+    the gate exists to close.  Callers ``add(key, pinned=True)`` when the
+    message reaches the wire and :meth:`unpin` on completion; eviction only
+    ever removes unpinned (completed) entries, growing past ``cap``
+    transiently if a full window of stalled calls pins everything.
     """
 
     def __init__(self, cap: int = 4096):
@@ -85,17 +92,36 @@ class BoundedSeqidSet:
             raise ValueError(f"cap must be >= 1: {cap}")
         self.cap = cap
         self._keys: Dict[Any, None] = {}     # insertion-ordered
+        self._pinned: set = set()            # live (in-flight) keys
         self.evictions = 0
 
-    def add(self, key) -> None:
+    def add(self, key, pinned: bool = False) -> None:
         self._keys.pop(key, None)            # refresh recency
         self._keys[key] = None
-        while len(self._keys) > self.cap:
-            self._keys.pop(next(iter(self._keys)))
+        if pinned:
+            self._pinned.add(key)
+        self._evict()
+
+    def unpin(self, key) -> None:
+        """The call behind ``key`` completed: the entry stays (it still
+        gates duplicates) but becomes evictable under cap pressure."""
+        self._pinned.discard(key)
+        self._evict()
+
+    def pinned(self, key) -> bool:
+        return key in self._pinned
+
+    def _evict(self) -> None:
+        if len(self._keys) <= self.cap:
+            return
+        over = len(self._keys) - self.cap
+        for key in [k for k in self._keys if k not in self._pinned][:over]:
+            self._keys.pop(key)
             self.evictions += 1
 
     def discard(self, key) -> None:
         self._keys.pop(key, None)
+        self._pinned.discard(key)
 
     def __contains__(self, key) -> bool:
         return key in self._keys
@@ -107,7 +133,8 @@ class BoundedSeqidSet:
         return iter(self._keys)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"BoundedSeqidSet(len={len(self._keys)}, cap={self.cap})"
+        return (f"BoundedSeqidSet(len={len(self._keys)}, cap={self.cap}, "
+                f"pinned={len(self._pinned)})")
 
 
 class CallHandle:

@@ -250,7 +250,7 @@ class HatRpcClient:
                  plan: Optional[ServicePlan] = None,
                  deadline: Optional[float] = None,
                  retry_policy=None, idempotent=(), rng=None,
-                 pipeline: bool = False):
+                 pipeline: bool = False, trace_attrs=None):
         self.node = node
         self.gen = gen_module
         self.service_name = service_name
@@ -260,7 +260,8 @@ class HatRpcClient:
         self.engine = HatRpcEngine(node, self.plan, base_service_id,
                                    deadline=deadline,
                                    retry_policy=retry_policy,
-                                   idempotent=idempotent, rng=rng)
+                                   idempotent=idempotent, rng=rng,
+                                   trace_attrs=trace_attrs)
         self.trans = TRdma(self.engine)
         self.protocol = HintedProtocol(protocol_factory(self.trans),
                                        self.trans)
@@ -430,7 +431,7 @@ def hatrpc_connect(node, remote_node, gen_module, service_name: str,
                    plan: Optional[ServicePlan] = None,
                    deadline: Optional[float] = None,
                    retry_policy=None, idempotent=(), rng=None,
-                   pipeline: bool = False):
+                   pipeline: bool = False, trace_attrs=None):
     """Coroutine: one-call client setup; returns the generated stub.
 
     The stub's methods are coroutines: ``yield from stub.Method(...)``.
@@ -439,12 +440,15 @@ def hatrpc_connect(node, remote_node, gen_module, service_name: str,
     engine's failure handling (see :class:`repro.core.engine.HatRpcEngine`).
     ``pipeline=True`` provisions RDMA channels for overlapped in-flight
     calls (drive them via ``stub._hatrpc.async_caller()``); the server must
-    be started with the same flag or the same plan.
+    be started with the same flag or the same plan.  ``trace_attrs`` are
+    stamped onto every call's trace (a shard router passes its shard id so
+    hint_select stages attribute per shard).
     """
     client = HatRpcClient(node, gen_module, service_name, base_service_id,
                           protocol_factory, concurrency, plan,
                           deadline=deadline, retry_policy=retry_policy,
-                          idempotent=idempotent, rng=rng, pipeline=pipeline)
+                          idempotent=idempotent, rng=rng, pipeline=pipeline,
+                          trace_attrs=trace_attrs)
     stub = yield from client.connect(remote_node)
     stub._hatrpc = client
     return stub

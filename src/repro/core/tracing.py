@@ -36,6 +36,7 @@ class FaultCounters:
     breaker_opens: int = 0            # circuit-breaker CLOSED/HALF_OPEN -> OPEN
     blind_retries_prevented: int = 0  # non-idempotent resends refused
     channel_failures: int = 0         # transport errors observed on channels
+    reroutes: int = 0                 # swept calls handed to another engine
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)

@@ -17,11 +17,15 @@ from repro.hatkv.idl import hatkv_idl, load_hatkv_module
 from repro.hatkv.backend import BackendCosts, LmdbBackend
 from repro.hatkv.server import HatKVServer
 from repro.hatkv.client import connect_hatkv
+from repro.hatkv.sharding import HashRing, ShardRouter, ShardedKVCluster
 
 __all__ = [
     "BackendCosts",
+    "HashRing",
     "HatKVServer",
     "LmdbBackend",
+    "ShardRouter",
+    "ShardedKVCluster",
     "connect_hatkv",
     "hatkv_idl",
     "load_hatkv_module",

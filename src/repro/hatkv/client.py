@@ -25,7 +25,7 @@ def connect_hatkv(node, server_node, gen_module,
                   base_service_id: int = BASE_SID,
                   deadline: Optional[float] = None,
                   retry_policy=None, rng=None,
-                  pipeline: bool = False):
+                  pipeline: bool = False, trace_attrs=None):
     """Coroutine: a connected KVService stub.
 
     All stub methods are coroutines: ``value = yield from stub.Get(key)``.
@@ -41,7 +41,8 @@ def connect_hatkv(node, server_node, gen_module,
                                      deadline=deadline,
                                      retry_policy=retry_policy,
                                      idempotent=IDEMPOTENT_FUNCTIONS,
-                                     rng=rng, pipeline=pipeline)
+                                     rng=rng, pipeline=pipeline,
+                                     trace_attrs=trace_attrs)
     return stub
 
 
@@ -59,9 +60,12 @@ def multi_get(stub, keys: Sequence[bytes]):
     Unlike the server-side ``MultiGet`` (one big request), this issues one
     ``Get`` per key under the channel's in-flight window -- the client-side
     batching the engine's ``call_many`` provides.  Missing keys come back
-    as ``b""`` (the KV handler's convention).
+    as ``b""`` (flattened from Get's ``GetResult.found`` flag, matching
+    the MultiGet wire convention).
     """
-    return _caller_of(stub).call_many([("Get", key) for key in keys])
+    results = yield from _caller_of(stub).call_many(
+        [("Get", key) for key in keys])
+    return [r.value if r.found else b"" for r in results]
 
 
 def multi_put(stub, keys: Sequence[bytes], values: Sequence[bytes]):

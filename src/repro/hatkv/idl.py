@@ -39,10 +39,19 @@ def hatkv_idl(variant: str = "function", concurrency: int = 128) -> str:
                                       "Scan")}
     return f"""
 // HatKV service (Figure 10).  Variant: HatRPC-{variant.capitalize()}.
+
+// Get's reply distinguishes "absent" from "stored an empty value":
+// a bare binary return conflated the two (b"" either way), so a shard
+// router could not tell a misrouted key from an empty one.
+struct GetResult {{
+    1: bool found,
+    2: binary value,
+}}
+
 service KVService {{
     hint: concurrency = {concurrency}, perf_goal = throughput;
 
-    binary Get(1: binary key) {fn_hints['Get']}
+    GetResult Get(1: binary key) {fn_hints['Get']}
     void Put(1: binary key, 2: binary value) {fn_hints['Put']}
     list<binary> MultiGet(1: list<binary> keys) {fn_hints['MultiGet']}
     void MultiPut(1: list<binary> keys, 2: list<binary> values) {fn_hints['MultiPut']}

@@ -18,19 +18,48 @@ SERVICE = "KVService"
 BASE_SID = 6000
 
 
-class KVHandler:
-    """Generated-Iface implementation over the backend (all coroutines)."""
+class _PlainGetResult:
+    """Stand-in for the generated GetResult when no gen module is wired
+    (unit tests poking the handler directly)."""
 
-    def __init__(self, backend: LmdbBackend):
+    def __init__(self, found: bool = False, value: bytes = b""):
+        self.found = found
+        self.value = value
+
+
+class KVHandler:
+    """Generated-Iface implementation over the backend (all coroutines).
+
+    ``result_cls`` is the generated ``GetResult`` struct; Get replies carry
+    an explicit ``found`` flag so a missing key is never conflated with a
+    stored-but-empty value.  ``shard`` (set by :mod:`repro.hatkv.sharding`)
+    adds per-shard ``hatkv.shard<N>.*`` counters next to the global ones.
+    """
+
+    def __init__(self, backend: LmdbBackend, result_cls=None,
+                 shard: Optional[int] = None):
         self.backend = backend
+        self.result_cls = result_cls or _PlainGetResult
+        self.shard = shard
         # Per-op instruments, captured once (None = metrics disabled).
         reg = obs.current()
         if reg is not None:
-            self._m_ops = {op: reg.counter(f"hatkv.{op}")
-                           for op in ("get", "put", "multi_get",
-                                      "multi_put", "scan")}
+            ops = ("get", "put", "multi_get", "multi_put", "scan")
+            self._m_ops = {op: reg.counter(f"hatkv.{op}") for op in ops}
+            if shard is not None:
+                self._m_shard = {op: reg.counter(f"hatkv.shard{shard}.{op}")
+                                 for op in ops}
+            else:
+                self._m_shard = None
         else:
             self._m_ops = None
+            self._m_shard = None
+
+    def _count(self, op: str) -> None:
+        if self._m_ops is not None:
+            self._m_ops[op].inc()
+            if self._m_shard is not None:
+                self._m_shard[op].inc()
 
     def _annotate(self, op: str, **attrs) -> None:
         """Stamp the KV op onto the open "handler" trace stage (the Thrift
@@ -41,35 +70,31 @@ class KVHandler:
             ctx.annotate(op=op, **attrs)
 
     def Get(self, key):
-        if self._m_ops is not None:
-            self._m_ops["get"].inc()
+        self._count("get")
         self._annotate("get", key_bytes=len(key))
         value = yield from self.backend.get(key)
-        return value if value is not None else b""
+        return self.result_cls(found=value is not None,
+                               value=value if value is not None else b"")
 
     def Put(self, key, value):
-        if self._m_ops is not None:
-            self._m_ops["put"].inc()
+        self._count("put")
         self._annotate("put", value_bytes=len(value))
         yield from self.backend.put(key, value)
 
     def MultiGet(self, keys):
-        if self._m_ops is not None:
-            self._m_ops["multi_get"].inc()
+        self._count("multi_get")
         self._annotate("multi_get", nkeys=len(keys))
         values = yield from self.backend.multi_get(keys)
         return [v if v is not None else b"" for v in values]
 
     def MultiPut(self, keys, values):
-        if self._m_ops is not None:
-            self._m_ops["multi_put"].inc()
+        self._count("multi_put")
         self._annotate("multi_put", nkeys=len(keys),
                        value_bytes=sum(len(v) for v in values))
         yield from self.backend.multi_put(keys, values)
 
     def Scan(self, start_key, count):
-        if self._m_ops is not None:
-            self._m_ops["scan"].inc()
+        self._count("scan")
         self._annotate("scan", count=count)
         rows = yield from self.backend.scan(start_key, count)
         # flatten to [k1, v1, k2, v2, ...] (the IDL carries one list)
@@ -89,9 +114,11 @@ class HatKVServer:
                  plan: Optional[ServicePlan] = None,
                  base_service_id: int = BASE_SID,
                  tune_backend: bool = True,
-                 pipeline: bool = False):
+                 pipeline: bool = False,
+                 shard: Optional[int] = None):
         self.node = node
         self.gen = gen_module
+        self.shard = shard
         self.backend = LmdbBackend(node, map_size=map_size)
         # Backend co-design: tune LMDB from the service-level server hints
         # (Section 4.4 -- e.g. max readers from the concurrency hint).
@@ -104,7 +131,8 @@ class HatKVServer:
                 from dataclasses import replace
                 hints = replace(hints, concurrency=concurrency)
             self.backend.apply_hints(hints)
-        self.handler = KVHandler(self.backend)
+        self.handler = KVHandler(self.backend, result_cls=gen_module.GetResult,
+                                 shard=shard)
         # pipeline=True provisions windowed channels; connect the clients
         # with pipeline=True too -- both peers must share the plan.
         self.rpc = HatRpcServer(node, gen_module, SERVICE, self.handler,
@@ -118,6 +146,13 @@ class HatKVServer:
 
     def stop(self) -> None:
         self.rpc.stop()
+
+    def load(self, items) -> None:
+        """Bulk-load (key, value) pairs straight into LMDB (no RPC) --
+        the YCSB load phase, which the paper does not time."""
+        with self.backend.env.begin(write=True) as txn:
+            for key, value in items:
+                txn.put(key, value)
 
     @property
     def requests(self) -> int:

@@ -1,0 +1,481 @@
+"""Sharded HatKV: consistent-hash routing over N HatKV servers.
+
+The cluster side (:class:`ShardedKVCluster`) launches one
+:class:`~repro.hatkv.server.HatKVServer` per shard on its own simulated
+node, each with its own LMDB backend.  The client side
+(:class:`ShardRouter`) opens one HatRPC channel set per shard -- each with
+its own hint-resolved ServicePlan, pipeline window, breakers, and retry
+state -- and maps keys onto shards with a consistent-hash ring
+(:class:`HashRing`, virtual nodes for balance).
+
+Replication is successor-based: a key's primary shard is its ring owner,
+and its replicas are the next ``replicas - 1`` shards in shard order.
+Every key on primary ``s`` therefore has the same replica set, which lets
+the router fail a *whole channel's* swept reads over to one replica engine
+without decoding per-call keys.  Reads fail over to replicas; writes fan
+to every replica and surface typed transport errors instead of blindly
+retrying (a re-sent write could double-apply).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.thrift.errors import TTransportException
+
+from repro import obs
+from repro.hatkv.client import IDEMPOTENT_FUNCTIONS, connect_hatkv
+from repro.hatkv.idl import load_hatkv_module
+from repro.hatkv.server import BASE_SID, SERVICE, HatKVServer
+
+__all__ = ["HashRing", "ShardRouter", "ShardedKVCluster"]
+
+
+def _hash64(data: bytes) -> int:
+    # md5 over Python's salted hash(): ring placement must be identical
+    # across processes and runs for results to be replayable.
+    return int.from_bytes(hashlib.md5(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring: ``vnodes`` points per shard for balance.
+
+    ``shard_of(key)`` is the first point clockwise from the key's hash.
+    Adding or removing one shard only remaps the keys on that shard's
+    arcs, which is the property that makes resharding incremental.
+    """
+
+    def __init__(self, n_shards: int, vnodes: int = 256, seed: int = 0):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+        self.vnodes = vnodes
+        self.seed = seed
+        points: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for v in range(vnodes):
+                points.append((_hash64(f"{seed}:{shard}:{v}".encode()),
+                               shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+
+    def shard_of(self, key: bytes) -> int:
+        idx = bisect.bisect_right(self._hashes, _hash64(key))
+        if idx == len(self._hashes):
+            idx = 0  # wrap past the highest point
+        return self._shards[idx]
+
+    def distribution(self, keys) -> List[int]:
+        """Keys-per-shard histogram (the router's balance gauge feed)."""
+        counts = [0] * self.n_shards
+        for key in keys:
+            counts[self.shard_of(key)] += 1
+        return counts
+
+
+class ShardedKVCluster:
+    """N HatKV servers on distinct sim nodes behind one consistent ring."""
+
+    def __init__(self, testbed, n_shards: int,
+                 gen_module=None, variant: str = "function",
+                 replicas: int = 1, vnodes: int = 256,
+                 server_nodes: Optional[Sequence] = None,
+                 concurrency: Optional[int] = None,
+                 pipeline: bool = True,
+                 ring_seed: int = 0,
+                 **server_kw):
+        if not 1 <= replicas <= n_shards:
+            raise ValueError("need 1 <= replicas <= n_shards")
+        self.testbed = testbed
+        self.n_shards = n_shards
+        self.replicas = replicas
+        self.pipeline = pipeline
+        self.concurrency = concurrency
+        self.gen = gen_module or load_hatkv_module(variant)
+        self.ring = HashRing(n_shards, vnodes=vnodes, seed=ring_seed)
+        nodes = (list(server_nodes) if server_nodes is not None
+                 else testbed.nodes[:n_shards])
+        if len(nodes) != n_shards:
+            raise ValueError(f"need {n_shards} server nodes, got {len(nodes)}")
+        self.servers = [HatKVServer(node, self.gen, shard=i,
+                                    concurrency=concurrency,
+                                    base_service_id=BASE_SID,
+                                    pipeline=pipeline, **server_kw)
+                        for i, node in enumerate(nodes)]
+
+    # -- topology ------------------------------------------------------------
+    @property
+    def nodes(self) -> list:
+        return [s.node for s in self.servers]
+
+    def primary(self, key: bytes) -> int:
+        return self.ring.shard_of(key)
+
+    def replica_shards(self, primary: int) -> Tuple[int, ...]:
+        """The shards holding a key whose ring owner is ``primary``:
+        the owner plus its ``replicas - 1`` successors in shard order."""
+        return tuple((primary + j) % self.n_shards
+                     for j in range(self.replicas))
+
+    def preference(self, key: bytes) -> Tuple[int, ...]:
+        return self.replica_shards(self.primary(key))
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "ShardedKVCluster":
+        for s in self.servers:
+            s.start()
+        return self
+
+    def stop(self) -> None:
+        for s in self.servers:
+            s.stop()
+
+    def load(self, items) -> None:
+        """Bulk-load (key, value) pairs into every owning shard's LMDB
+        (no RPC -- the untimed YCSB load phase), and publish the key
+        distribution as per-shard gauges."""
+        counts = [0] * self.n_shards
+        txns = [s.backend.env.begin(write=True) for s in self.servers]
+        try:
+            for key, value in items:
+                primary = self.primary(key)
+                counts[primary] += 1
+                for shard in self.replica_shards(primary):
+                    txns[shard].put(key, value)
+        finally:
+            for txn in txns:
+                txn.__exit__(None, None, None)
+        reg = obs.current()
+        if reg is not None:
+            for i, n in enumerate(counts):
+                reg.gauge(f"hatkv.router.keys.shard{i}").set(n)
+
+    def connect(self, node, deadline: Optional[float] = None,
+                retry_policy=None, rng=None):
+        """Coroutine: a :class:`ShardRouter` on ``node``, with one engine
+        channel set per shard (per-shard plan, window, and breakers)."""
+        stubs = []
+        for i, server in enumerate(self.servers):
+            stub = yield from connect_hatkv(
+                node, server.node, self.gen,
+                concurrency=self.concurrency,
+                base_service_id=BASE_SID,
+                deadline=deadline, retry_policy=retry_policy, rng=rng,
+                pipeline=self.pipeline, trace_attrs={"shard": i})
+            stubs.append(stub)
+        return ShardRouter(self, node, stubs)
+
+    @property
+    def requests(self) -> int:
+        return sum(s.requests for s in self.servers)
+
+
+class ShardRouter:
+    """Client-side shard fan-out with the stub's coroutine API.
+
+    One generated stub (and HatRPC engine) per shard; every op routes by
+    key through the cluster's ring.  Reads fail over along the key's
+    preference list; swept in-flight reads are handed to a replica
+    engine through the engine's ``sweep_reroute`` hook; writes fan to all
+    replicas and surface transport errors typed, never blindly re-sent.
+    """
+
+    def __init__(self, cluster: ShardedKVCluster, node, stubs):
+        self.cluster = cluster
+        self.node = node
+        self._stubs = list(stubs)
+        self._clients = [s._hatrpc for s in stubs]
+        self._callers = [c.async_caller() for c in self._clients]
+        self._engines = [c.engine for c in self._clients]
+        reg = obs.current()
+        if reg is not None:
+            self._m_ops = [reg.counter(f"hatkv.router.shard{i}.ops")
+                           for i in range(cluster.n_shards)]
+            self._m_reroutes = reg.counter("hatkv.router.reroutes")
+            self._m_read_failovers = reg.counter("hatkv.router.read_failovers")
+        else:
+            self._m_ops = None
+            self._m_reroutes = None
+            self._m_read_failovers = None
+        self._rerouting: set = set()       # (fn, seqid) pairs in takeover
+        for shard, engine in enumerate(self._engines):
+            engine.sweep_reroute = self._reroute_hook(shard)
+
+    # -- swept-call takeover -------------------------------------------------
+    def _reroute_hook(self, shard: int):
+        """hook(entry, exc) consulted by shard ``shard``'s engine when an
+        idempotent in-flight call dies with every local channel exhausted.
+        Successor replication means any replica of this shard can serve
+        the entry without decoding its key."""
+        def hook(entry, exc) -> bool:
+            if entry.seqid is None:
+                return False               # cannot dedupe a takeover chain
+            if (entry.fn, entry.seqid) in self._rerouting:
+                # This IS a takeover attempt (posted by _reroute_entry);
+                # shard ``shard``'s own successors do not hold the key, so
+                # let the takeover loop walk the original replica list.
+                return False
+            replicas = [r for r in self.cluster.replica_shards(shard)[1:]
+                        if self._engines[r].is_open()]
+            if not replicas:
+                return False
+            self._rerouting.add((entry.fn, entry.seqid))
+            self.node.sim.process(
+                self._reroute_entry(entry, replicas),
+                name=f"reroute-{entry.fn}-s{shard}")
+            return True
+        return hook
+
+    def _reroute_entry(self, entry, replicas):
+        """Detached process: re-post one swept call's raw message on the
+        key's replica shards (in preference order) and settle the original
+        handle with the outcome.  The replica server echoes the request
+        seqid, so the caller's paused stub decoder accepts the response
+        unchanged."""
+        last: Optional[Exception] = None
+        try:
+            for shard in replicas:
+                eng = self._engines[shard]
+                if not eng.is_open():
+                    continue
+                try:
+                    handle = yield from eng.call_async(
+                        entry.fn, entry.message, oneway=entry.oneway,
+                        seqid=entry.seqid)
+                    resp = yield from handle.wait()
+                except Exception as exc:
+                    last = exc
+                    continue
+                if self._m_reroutes is not None:
+                    self._m_reroutes.inc()
+                if not entry.handle.done:
+                    entry.handle._resolve(resp)
+                return
+            if not entry.handle.done:
+                entry.handle._fail(last if last is not None
+                                   else TTransportException(
+                                       TTransportException.NOT_OPEN,
+                                       f"no live replica for {entry.fn}"))
+        finally:
+            self._rerouting.discard((entry.fn, entry.seqid))
+
+    def _count(self, shard: int) -> None:
+        if self._m_ops is not None:
+            self._m_ops[shard].inc()
+
+    # -- the stub API --------------------------------------------------------
+    def Get(self, key):
+        """Coroutine: GetResult for ``key``; reads fail over in preference
+        order when a shard's transport is down."""
+        last: Optional[Exception] = None
+        for hop, shard in enumerate(self.cluster.preference(key)):
+            self._count(shard)
+            try:
+                result = yield from self._stubs[shard].Get(key)
+            except TTransportException as exc:
+                last = exc
+                continue
+            if hop and self._m_read_failovers is not None:
+                self._m_read_failovers.inc()
+            return result
+        raise last
+
+    def Put(self, key, value):
+        """Coroutine: store ``key`` on every replica of its shard.
+
+        Primary-first ordering: the owner's write must land before any
+        replica is touched, so a Put that fails because the owner is
+        unreachable raises its typed transport error with every replica
+        still holding the pre-write value -- the router never
+        blind-retries writes and never lets a replica get ahead of its
+        primary."""
+        pref = self.cluster.preference(key)
+        for shard in pref:
+            self._count(shard)
+        yield from self._stubs[pref[0]].Put(key, value)
+        if len(pref) == 1:
+            return
+        handles = []
+        for shard in pref[1:]:
+            handles.append((yield from self._callers[shard].call_async(
+                "Put", key, value)))
+        first: Optional[Exception] = None
+        for h in handles:
+            try:
+                yield from h.wait()
+            except Exception as exc:
+                if first is None:
+                    first = exc
+        if first is not None:
+            raise first
+
+    def MultiGet(self, keys):
+        """Coroutine: values for ``keys`` (b"" when absent), fanned as one
+        server-side MultiGet per shard, reassembled in request order."""
+        groups: Dict[int, Tuple[List[int], List[bytes]]] = {}
+        for pos, key in enumerate(keys):
+            shard = self.cluster.primary(key)
+            positions, subkeys = groups.setdefault(shard, ([], []))
+            positions.append(pos)
+            subkeys.append(key)
+        handles = []
+        for shard, (positions, subkeys) in groups.items():
+            self._count(shard)
+            handles.append((shard, positions, subkeys,
+                            (yield from self._callers[shard].call_async(
+                                "MultiGet", subkeys))))
+        out: List[Optional[bytes]] = [None] * len(keys)
+        for shard, positions, subkeys, h in handles:
+            try:
+                values = yield from h.wait()
+            except TTransportException:
+                values = yield from self._multi_get_fallback(shard, subkeys)
+            for pos, value in zip(positions, values):
+                out[pos] = value
+        return out
+
+    def _multi_get_fallback(self, shard: int, subkeys):
+        """Coroutine: re-read one shard's sub-batch from its replicas
+        (all keys primaried on ``shard`` share the same replica set)."""
+        last: Optional[Exception] = None
+        for r in self.cluster.replica_shards(shard)[1:]:
+            self._count(r)
+            try:
+                values = yield from self._stubs[r].MultiGet(subkeys)
+            except TTransportException as exc:
+                last = exc
+                continue
+            if self._m_read_failovers is not None:
+                self._m_read_failovers.inc()
+            return values
+        raise last if last is not None else TTransportException(
+            TTransportException.NOT_OPEN,
+            f"shard {shard} unreachable and no replicas configured")
+
+    def MultiPut(self, keys, values):
+        """Coroutine: store a batch, one server-side MultiPut per shard
+        per replica.  Two phases with the same primary-first rule as
+        :meth:`Put`: every primary write settles before any replica is
+        touched; the first failure raises after its phase settles."""
+        if len(keys) != len(values):
+            raise ValueError("keys/values length mismatch")
+        primary: Dict[int, Tuple[List[bytes], List[bytes]]] = {}
+        replica: Dict[int, Tuple[List[bytes], List[bytes]]] = {}
+        for key, value in zip(keys, values):
+            pref = self.cluster.preference(key)
+            for phase, shard in zip((primary,) + (replica,) * (len(pref) - 1),
+                                    pref):
+                ks, vs = phase.setdefault(shard, ([], []))
+                ks.append(key)
+                vs.append(value)
+        for phase in (primary, replica):
+            handles = []
+            for shard, (ks, vs) in phase.items():
+                self._count(shard)
+                handles.append((yield from self._callers[shard].call_async(
+                    "MultiPut", ks, vs)))
+            first: Optional[Exception] = None
+            for h in handles:
+                try:
+                    yield from h.wait()
+                except Exception as exc:
+                    if first is None:
+                        first = exc
+            if first is not None:
+                raise first
+
+    def Scan(self, start_key, count):
+        """Coroutine: global scan -- hash sharding scatters key ranges, so
+        every shard scans locally and the router merge-sorts the fronts."""
+        handles = []
+        for shard in range(self.cluster.n_shards):
+            self._count(shard)
+            handles.append((yield from self._callers[shard].call_async(
+                "Scan", start_key, count)))
+        rows: List[Tuple[bytes, bytes]] = []
+        for h in handles:
+            flat = yield from h.wait()
+            rows.extend((flat[i], flat[i + 1])
+                        for i in range(0, len(flat), 2))
+        rows.sort()
+        out: List[bytes] = []
+        prev_key: Optional[bytes] = None
+        for k, v in rows:                  # replicas surface a key twice
+            if k == prev_key:
+                continue
+            prev_key = k
+            out.append(k)
+            out.append(v)
+            if len(out) == 2 * count:
+                break
+        return out
+
+    # -- pipelined client-side batching (mirrors repro.hatkv.client) --------
+    def multi_get(self, keys):
+        """Coroutine: one pipelined single-key Get per key, fanned across
+        shards under each shard channel's in-flight window; values come
+        back in request order (b"" when absent)."""
+        handles = []
+        for key in keys:
+            shard = self.cluster.primary(key)
+            self._count(shard)
+            handles.append(
+                (shard, key,
+                 (yield from self._callers[shard].call_async("Get", key))))
+        out: List[bytes] = []
+        for shard, key, h in handles:
+            try:
+                result = yield from h.wait()
+            except TTransportException:
+                result = yield from self._get_from_replicas(shard, key)
+            out.append(result.value if result.found else b"")
+        return out
+
+    def _get_from_replicas(self, shard: int, key: bytes):
+        last: Optional[Exception] = None
+        for r in self.cluster.replica_shards(shard)[1:]:
+            self._count(r)
+            try:
+                result = yield from self._stubs[r].Get(key)
+            except TTransportException as exc:
+                last = exc
+                continue
+            if self._m_read_failovers is not None:
+                self._m_read_failovers.inc()
+            return result
+        raise last if last is not None else TTransportException(
+            TTransportException.NOT_OPEN,
+            f"shard {shard} unreachable and no replicas configured")
+
+    def multi_put(self, keys, values):
+        """Coroutine: one pipelined single-key Put per key per replica,
+        primaries settling before replicas (see :meth:`Put`)."""
+        if len(keys) != len(values):
+            raise ValueError("keys/values length mismatch")
+        for hop in range(self.cluster.replicas):
+            handles = []
+            for key, value in zip(keys, values):
+                pref = self.cluster.preference(key)
+                if hop >= len(pref):
+                    continue
+                shard = pref[hop]
+                self._count(shard)
+                handles.append((yield from self._callers[shard].call_async(
+                    "Put", key, value)))
+            first: Optional[Exception] = None
+            for h in handles:
+                try:
+                    yield from h.wait()
+                except Exception as exc:
+                    if first is None:
+                        first = exc
+            if first is not None:
+                raise first
+
+    def close(self) -> None:
+        for client in self._clients:
+            client.engine.sweep_reroute = None
+            client.close()

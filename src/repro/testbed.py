@@ -48,5 +48,23 @@ class Testbed:
     def node(self, i: int) -> Node:
         return self.cluster.nodes[i]
 
+    def split(self, n_servers: int,
+              n_clients: Optional[int] = None) -> tuple:
+        """(server_nodes, client_nodes): the first ``n_servers`` nodes for
+        servers, the rest (or the next ``n_clients``) for clients -- the
+        multi-server topology a sharded cluster runs on."""
+        if n_servers >= len(self.nodes):
+            raise ValueError(f"{n_servers} server nodes leaves no client "
+                             f"nodes on a {len(self.nodes)}-node testbed")
+        servers = self.nodes[:n_servers]
+        clients = self.nodes[n_servers:]
+        if n_clients is not None:
+            if n_clients > len(clients):
+                raise ValueError(f"asked for {n_clients} client nodes; only "
+                                 f"{len(clients)} remain after {n_servers} "
+                                 "servers")
+            clients = clients[:n_clients]
+        return servers, clients
+
     def run(self, until=None):
         return self.sim.run(until)

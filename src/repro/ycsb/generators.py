@@ -93,17 +93,27 @@ class ScrambledZipfianGenerator:
 
 
 class LatestGenerator:
-    """Skewed towards the most recently inserted item (YCSB 'latest')."""
+    """Skewed towards the most recently inserted item (YCSB 'latest').
 
-    def __init__(self, n: int, seed: int = 0):
+    ``hwm`` is an optional zero-arg callable returning the run-wide insert
+    high-water mark.  Without it the generator only sees its *own* client's
+    inserts -- with 16 concurrent clients the hot end of the distribution
+    then lags the true latest insert by ~16x, which is not what YCSB-D
+    models.  Wire every client's generator to one shared
+    :class:`~repro.ycsb.workload.InsertSequence` to fix that.
+    """
+
+    def __init__(self, n: int, seed: int = 0, hwm=None):
         self._max = n - 1
+        self._hwm = hwm
         self._zipf = ZipfianGenerator(n, seed=seed)
 
     def advance(self) -> None:
         self._max += 1
 
     def next(self) -> int:
-        return self._max - self._zipf.next() % (self._max + 1)
+        last = self._max if self._hwm is None else max(self._hwm(), self._max)
+        return last - self._zipf.next() % (last + 1)
 
 
 class DiscreteGenerator:

@@ -1,10 +1,12 @@
 """YCSB run loop against any KVService stub factory.
 
-The runner owns the simulation choreography of Section 5.4: one server
-node, clients spread across four client nodes, a load phase (direct into
-the backend -- load time is not measured by the paper), then a measured run
-phase.  It is transport-agnostic: pass a ``connect`` coroutine factory so
-the same runner drives HatKV and every emulated comparator.
+The runner owns the simulation choreography of Section 5.4: server nodes,
+clients spread across four client nodes, a load phase (direct into the
+backend -- load time is not measured by the paper), then a measured run
+phase.  It is transport- and topology-agnostic: pass a ``connect``
+coroutine factory so the same runner drives HatKV, every emulated
+comparator, and the sharded cluster (any ``server`` exposing
+``load(items)`` and either ``node`` or ``nodes`` works).
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from typing import Callable, Dict
 from repro.bench.stats import LatencyStats
 from repro.hatkv.server import HatKVServer
 from repro.testbed import Testbed
-from repro.ycsb.workload import OpType, Workload, WorkloadSpec
+from repro.ycsb.workload import InsertSequence, OpType, Workload, WorkloadSpec
 
 __all__ = ["YcsbResult", "run_ycsb"]
 
@@ -30,35 +32,52 @@ class YcsbResult:
         return self.per_op[op]
 
 
+def _load_server(server, items) -> None:
+    """Bulk-load (key, value) pairs, bypassing RPC.  Prefers the server's
+    own ``load`` (which a sharded cluster routes per shard); falls back to
+    writing straight into a single backend's LMDB env."""
+    load = getattr(server, "load", None)
+    if load is not None:
+        load(items)
+        return
+    with server.backend.env.begin(write=True) as txn:
+        for key, value in items:
+            txn.put(key, value)
+
+
 def run_ycsb(server: HatKVServer, connect: Callable, spec: WorkloadSpec,
              testbed: Testbed, n_clients: int = 16, ops_per_client: int = 20,
              warmup_per_client: int = 3, n_client_nodes: int = 4,
              seed: int = 0) -> YcsbResult:
     """Run one YCSB experiment; ``connect(node)`` is a coroutine returning
     a stub with Get/Put/MultiGet/MultiPut coroutines."""
-    sim = server.node.sim
-    # Load phase: populate the backend directly (not timed, as in YCSB).
+    sim = testbed.sim
+    # Load phase: populate the backend(s) directly (not timed, as in YCSB).
     loader = Workload(spec, seed=seed)
-    env = server.backend.env
-    with env.begin(write=True) as txn:
-        for key, value in loader.load_items():
-            txn.put(key, value)
+    _load_server(server, loader.load_items())
 
     per_op: Dict[OpType, LatencyStats] = {op: LatencyStats() for op in OpType}
     window = {"start": None, "end": 0.0, "ops": 0}
-    client_nodes = testbed.nodes[1:1 + n_client_nodes]
+    server_nodes = getattr(server, "nodes", None) or [server.node]
+    candidates = [n for n in testbed.nodes if n not in server_nodes]
+    client_nodes = candidates[:n_client_nodes]
+    # One run-wide insert sequence: every client's 'latest' distribution
+    # keys off the same high-water mark, as YCSB-D intends.
+    insert_seq = InsertSequence(spec.record_count)
 
     def client(i):
         node = client_nodes[i % len(client_nodes)]
-        wl = Workload(spec, seed=seed * 7919 + i,
-                      insert_start=spec.record_count + i * 1_000_000)
+        wl = Workload(spec, seed=seed * 7919 + i, insert_seq=insert_seq)
         stub = yield from connect(node)
         for k in range(warmup_per_client + ops_per_client):
             op, args = wl.next_op()
             t0 = sim.now
             if op is OpType.GET:
-                value = yield from stub.Get(*args)
-                assert value is not None
+                res = yield from stub.Get(*args)
+                # 'latest' may pick an index whose insert is still in
+                # flight on another client; a miss is then legitimate.
+                assert res.found or spec.distribution == "latest", \
+                    f"missing key {args[0]!r}"
             elif op is OpType.PUT:
                 yield from stub.Put(*args)
             elif op is OpType.MULTI_GET:

@@ -13,7 +13,8 @@ from repro.ycsb.generators import (
     UniformGenerator,
 )
 
-__all__ = ["OpType", "WORKLOAD_A", "WORKLOAD_B", "Workload", "WorkloadSpec"]
+__all__ = ["InsertSequence", "OpType", "WORKLOAD_A", "WORKLOAD_B",
+           "Workload", "WorkloadSpec"]
 
 KEY_LENGTH = 24          # bytes (S5.4)
 FIELD_LENGTH = 100       # bytes per field
@@ -59,12 +60,41 @@ WORKLOAD_D = WorkloadSpec("D", ((OpType.GET, 0.95), (OpType.INSERT, 0.05)),
 WORKLOAD_E = WorkloadSpec("E", ((OpType.SCAN, 0.95), (OpType.INSERT, 0.05)))
 
 
+class InsertSequence:
+    """Run-wide insert index allocator, shared by every client's Workload.
+
+    Each INSERT claims the next global index, and the high-water mark it
+    exposes is what the 'latest' distribution keys off.  A per-client view
+    (the old ``insert_start`` stripes) only advanced on that client's own
+    inserts, so with 16 clients the 'latest' hot set was ~16x staler than
+    the true most-recent insert.  The simulator is cooperatively scheduled,
+    so claim-then-increment needs no locking.
+    """
+
+    def __init__(self, start: int):
+        self._next = start
+        self.start = start
+
+    def next_index(self) -> int:
+        idx = self._next
+        self._next += 1
+        return idx
+
+    @property
+    def high_water(self) -> int:
+        """Largest index claimed so far (start - 1 if none yet)."""
+        return self._next - 1
+
+
 class Workload:
     """Generates keys, values, and an operation stream for one client."""
 
     def __init__(self, spec: WorkloadSpec, seed: int = 0,
-                 insert_start: int | None = None):
+                 insert_start: int | None = None,
+                 insert_seq: InsertSequence | None = None):
         self.spec = spec
+        hwm = ((lambda: insert_seq.high_water)
+               if insert_seq is not None else None)
         if spec.distribution == "zipfian":
             self._keychooser = ScrambledZipfianGenerator(spec.record_count,
                                                          seed=seed)
@@ -72,14 +102,17 @@ class Workload:
             self._keychooser = UniformGenerator(0, spec.record_count - 1,
                                                 seed=seed)
         elif spec.distribution == "latest":
-            self._keychooser = LatestGenerator(spec.record_count, seed=seed)
+            self._keychooser = LatestGenerator(spec.record_count, seed=seed,
+                                               hwm=hwm)
         else:
             raise ValueError(f"unknown distribution {spec.distribution!r}")
         self._ops = DiscreteGenerator(
             [(op.value, w) for op, w in spec.mix], seed=seed + 1)
         self._value_rng = random.Random(seed + 2)
-        # INSERT ops claim fresh indices past the loaded keyspace.  Each
-        # client gets a disjoint stripe so concurrent inserts never collide.
+        # INSERT ops claim fresh indices past the loaded keyspace: from the
+        # shared run-wide sequence when one is wired, else from a private
+        # stripe (disjoint per client so concurrent inserts never collide).
+        self._insert_seq = insert_seq
         self._insert_next = (insert_start if insert_start is not None
                              else spec.record_count)
 
@@ -108,10 +141,13 @@ class Workload:
         if op is OpType.SCAN:
             return op, (self.key_of(self._keychooser.next()), BATCH_SIZE)
         if op is OpType.INSERT:
-            idx = self._insert_next
-            self._insert_next += 1
-            if hasattr(self._keychooser, "advance"):
-                self._keychooser.advance()
+            if self._insert_seq is not None:
+                idx = self._insert_seq.next_index()
+            else:
+                idx = self._insert_next
+                self._insert_next += 1
+                if hasattr(self._keychooser, "advance"):
+                    self._keychooser.advance()
             return op, (self.key_of(idx), self.value())
         keys = [self.key_of(self._keychooser.next())
                 for _ in range(BATCH_SIZE)]

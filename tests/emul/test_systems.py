@@ -54,4 +54,4 @@ def test_comparator_roundtrip(system):
         out["v"] = yield from kv.Get(key)
 
     tb.sim.run(tb.sim.process(client()))
-    assert out["v"] == b"value" * 200
+    assert out["v"].found and out["v"].value == b"value" * 200

@@ -140,6 +140,81 @@ def test_bounded_seqid_set_evicts_lru():
         BoundedSeqidSet(cap=0)
 
 
+def test_bounded_seqid_set_never_evicts_pinned():
+    # Regression: cap pressure used to LRU-evict the seqid of a live
+    # (still-in-flight) slow call, silently re-opening its duplicate-send
+    # window.  Pinned keys must ride out any amount of pressure.
+    s = BoundedSeqidSet(cap=2)
+    s.add(("Slow", 1), pinned=True)
+    s.add(("Slow", 2), pinned=True)
+    s.add(("Slow", 3), pinned=True)
+    assert len(s) == 3                # live keys may overflow the cap
+    assert s.evictions == 0           # ...without evicting each other
+    s.add(("Put", 1))                 # historical: first out under pressure
+    assert ("Put", 1) not in s
+    for i in (1, 2, 3):
+        assert ("Slow", i) in s and s.pinned(("Slow", i))
+    s.unpin(("Slow", 1))              # completed -> merely historical
+    assert not s.pinned(("Slow", 1))
+    assert len(s) == 2 and ("Slow", 1) not in s
+    s.discard(("Slow", 2))            # discard clears the pin too
+    assert not s.pinned(("Slow", 2))
+
+
+def test_live_seqids_survive_cap_pressure_from_fast_calls():
+    # A window of stalled Slow calls + a tiny ledger cap: fast Puts on
+    # another channel churning through the ledger must never evict the
+    # Slows' live seqids (pre-fix, plain LRU evicted them oldest-first).
+    # The payload hints put Put on its own channel, so the stalled Slow
+    # server loop does not serialize the pressure traffic behind it.
+    pin_gen = load_idl("""
+service PinKV {
+    hint: concurrency = 4;
+
+    string Slow(1: string k) [ hint: perf_goal = latency; ]
+    void Put(1: string k, 2: string v)
+        [ c_hint: payload_size = 10KB; s_hint: payload_size = 64; ]
+}
+""", "seqid_pin_gen")
+    tb = Testbed(n_nodes=2)
+
+    class Handler:
+        def Slow(self, k):
+            yield tb.sim.timeout(10 * ms)
+            return k
+
+        def Put(self, k, v):
+            pass
+
+    HatRpcServer(tb.node(0), pin_gen, "PinKV", Handler(),
+                 pipeline=True).start()
+
+    def run():
+        stub = yield from hatrpc_connect(tb.node(1), tb.node(0), pin_gen,
+                                         "PinKV", rng=random.Random(42),
+                                         pipeline=True)
+        engine = stub._hatrpc.engine
+        engine._sent_seqids = BoundedSeqidSet(cap=2)
+        caller = stub._hatrpc.async_caller()
+        h1 = yield from caller.call_async("Slow", "a")
+        h2 = yield from caller.call_async("Slow", "b")
+        live = [k for k in engine._sent_seqids if k[0] == "Slow"]
+        assert len(live) == 2
+        for i in range(6):            # cap-thrashing fast traffic
+            yield from stub.Put("k%d" % i, "v")
+        for key in live:
+            assert key in engine._sent_seqids, f"live {key} evicted"
+            assert engine._sent_seqids.pinned(key)
+        assert (yield from h1.wait()) == "a"
+        assert (yield from h2.wait()) == "b"
+        for key in live:              # completed -> unpinned, evictable
+            assert not engine._sent_seqids.pinned(key)
+        assert len(engine._sent_seqids) <= 2
+        return engine
+
+    tb.sim.run(tb.sim.process(run()))
+
+
 def test_engine_seqid_ledger_stays_bounded(gen):
     tb = Testbed(n_nodes=2)
     HatRpcServer(tb.node(0), gen, "MiniKV", KVHandler(tb)).start()

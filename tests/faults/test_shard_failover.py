@@ -1,0 +1,153 @@
+"""Shard failover under injected faults.
+
+One shard's node loses its link mid-run: reads routed to it must fail
+over to the replica shard (including swept in-flight pipelined reads,
+which the router's ``sweep_reroute`` hook re-posts on the replica's
+engine), while writes surface typed transport errors -- the router never
+blind-retries a write.
+"""
+
+import random
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, LinkFlap
+from repro.hatkv import ShardedKVCluster
+from repro.sim.units import ms, us
+from repro.testbed import Testbed
+from repro.thrift.errors import TTransportException
+from repro.ycsb.workload import Workload
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.obs.ObsInstallOrderWarning")
+
+N_KEYS = 120
+VALUE = b"payload-" * 12
+
+
+def build_cluster(tb, **kw):
+    kw.setdefault("replicas", 2)
+    cluster = ShardedKVCluster(tb, 2, **kw).start()
+    items = [(Workload.key_of(i), VALUE) for i in range(N_KEYS)]
+    cluster.load(items)
+    return cluster, [k for k, _ in items]
+
+
+def keys_on_shard(cluster, keys, shard):
+    return [k for k in keys if cluster.primary(k) == shard]
+
+
+def test_reads_fail_over_to_replica_during_link_flap():
+    tb = Testbed(n_nodes=6)
+    cluster, keys = build_cluster(tb)
+    flap_node = cluster.servers[0].node.name
+    FaultInjector(tb, FaultPlan(seed=3, events=(
+        LinkFlap(flap_node, start=150 * us, duration=8 * ms),
+    ))).arm()
+    shard0_keys = keys_on_shard(cluster, keys, 0)
+    assert len(shard0_keys) >= 10
+    out = {"values": [], "write_errors": 0}
+
+    def client():
+        router = yield from cluster.connect(tb.node(4),
+                                            rng=random.Random(7))
+        yield tb.sim.timeout(300 * us)         # well inside the flap window
+        for key in shard0_keys[:8]:
+            got = yield from router.Get(key)   # replica serves the read
+            out["values"].append((got.found, got.value))
+        for key in shard0_keys[:3]:            # writes: typed error, no retry
+            try:
+                yield from router.Put(key, b"clobber")
+            except TTransportException:
+                out["write_errors"] += 1
+        router.close()
+
+    tb.sim.run(tb.sim.process(client()))
+    assert out["values"] == [(True, VALUE)] * 8
+    assert out["write_errors"] == 3
+    # the data was never clobbered mid-flap on the replica either
+    for key in shard0_keys[:3]:
+        env = cluster.servers[1].backend.env
+        with env.begin() as txn:
+            assert txn.get(key) == VALUE
+
+
+def test_swept_inflight_reads_reroute_to_replica():
+    """A pipelined burst is in flight when the primary's link drops: the
+    swept idempotent entries must settle with correct values from the
+    replica, via the engine's sweep_reroute hook."""
+    tb = Testbed(n_nodes=6)
+    cluster, keys = build_cluster(tb)
+    flap_node = cluster.servers[0].node.name
+    FaultInjector(tb, FaultPlan(seed=5, events=(
+        LinkFlap(flap_node, start=30 * us, duration=10 * ms),
+    ))).arm()
+    out = {}
+
+    def client():
+        router = yield from cluster.connect(tb.node(4),
+                                            rng=random.Random(11))
+        shard0 = keys_on_shard(cluster, keys, 0)[:40]
+        out["values"] = yield from router.multi_get(shard0)
+        out["engines"] = [e.faults.as_dict() for e in router._engines]
+        router.close()
+
+    tb.sim.run(tb.sim.process(client()))
+    assert out["values"] == [VALUE] * 40
+    # at least one swept call crossed engines or failed over at the router
+    crossed = sum(f["reroutes"] for f in out["engines"])
+    assert crossed > 0 or out["engines"][0]["channel_failures"] > 0
+
+
+def test_flap_over_reads_and_writes_recover_after_window():
+    tb = Testbed(n_nodes=6)
+    cluster, keys = build_cluster(tb)
+    flap_node = cluster.servers[0].node.name
+    FaultInjector(tb, FaultPlan(seed=9, events=(
+        LinkFlap(flap_node, start=100 * us, duration=2 * ms),
+    ))).arm()
+    key = keys_on_shard(cluster, keys, 0)[0]
+    out = {}
+
+    def client():
+        router = yield from cluster.connect(tb.node(4),
+                                            rng=random.Random(13))
+        yield tb.sim.timeout(5 * ms)           # past the window
+        yield from router.Put(key, b"after-flap")
+        got = yield from router.Get(key)
+        out["after"] = (got.found, got.value)
+        router.close()
+
+    tb.sim.run(tb.sim.process(client()))
+    assert out["after"] == (True, b"after-flap")
+    # the write replicated to both owners
+    for shard in cluster.preference(key):
+        with cluster.servers[shard].backend.env.begin() as txn:
+            assert txn.get(key) == b"after-flap"
+
+
+def test_no_replicas_means_reads_fail_typed():
+    """replicas=1: no failover target -- reads surface the transport
+    error instead of silently returning wrong data."""
+    tb = Testbed(n_nodes=6)
+    cluster, keys = build_cluster(tb, replicas=1)
+    flap_node = cluster.servers[0].node.name
+    FaultInjector(tb, FaultPlan(seed=2, events=(
+        LinkFlap(flap_node, start=100 * us, duration=8 * ms),
+    ))).arm()
+    key = keys_on_shard(cluster, keys, 0)[0]
+    out = {}
+
+    def client():
+        router = yield from cluster.connect(tb.node(4),
+                                            rng=random.Random(3))
+        yield tb.sim.timeout(300 * us)
+        try:
+            yield from router.Get(key)
+            out["error"] = None
+        except TTransportException as exc:
+            out["error"] = exc
+        router.close()
+
+    tb.sim.run(tb.sim.process(client()))
+    assert isinstance(out["error"], TTransportException)

@@ -31,10 +31,28 @@ def test_put_get_roundtrip(tb):
         out["missing"] = yield from kv.Get(b"nothere".ljust(24, b"0"))
 
     tb.sim.run(tb.sim.process(client()))
-    assert out["v"] == b"value-1" * 100
-    assert out["missing"] == b""
+    assert out["v"].found and out["v"].value == b"value-1" * 100
+    assert not out["missing"].found and out["missing"].value == b""
     assert server.backend.reads == 2
     assert server.backend.writes == 1
+
+
+def test_get_distinguishes_empty_value_from_missing(tb):
+    # Regression: Get used to return bare bytes, so a stored-empty value
+    # and an absent key were both b"" -- indistinguishable to callers.
+    gen, server = start(tb)
+    out = {}
+
+    def client():
+        kv = yield from connect_hatkv(tb.node(1), tb.node(0), gen,
+                                      concurrency=4)
+        yield from kv.Put(b"empty".ljust(24, b"0"), b"")
+        out["empty"] = yield from kv.Get(b"empty".ljust(24, b"0"))
+        out["absent"] = yield from kv.Get(b"absent".ljust(24, b"0"))
+
+    tb.sim.run(tb.sim.process(client()))
+    assert out["empty"].found and out["empty"].value == b""
+    assert not out["absent"].found and out["absent"].value == b""
 
 
 def test_multi_ops(tb):
@@ -98,7 +116,7 @@ def test_concurrent_clients_consistency(tb):
         key = f"client{i}".encode().ljust(24, b"0")
         yield from kv.Put(key, f"data-{i}".encode() * 100)
         got = yield from kv.Get(key)
-        results.append(got == f"data-{i}".encode() * 100)
+        results.append(got.found and got.value == f"data-{i}".encode() * 100)
 
     for i in range(8):
         tb.sim.process(client(i))

@@ -119,6 +119,53 @@ def test_insert_keys_disjoint_per_client():
     assert keys_a and keys_b and not (keys_a & keys_b)
 
 
+def test_latest_distribution_tracks_run_wide_inserts():
+    """Regression: 'latest' only advanced on the local client's inserts,
+    so with many clients the hot set lagged the true newest insert by a
+    factor of the client count.  A shared InsertSequence closes the gap:
+    every client's keychooser must be able to reach the global high-water
+    mark, not just its own."""
+    from repro.ycsb import WORKLOAD_D
+    from repro.ycsb.workload import InsertSequence
+    seq = InsertSequence(WORKLOAD_D.record_count)
+    writer = Workload(WORKLOAD_D, seed=1, insert_seq=seq)
+    reader = Workload(WORKLOAD_D, seed=2, insert_seq=seq)
+    # The writer inserts; the reader never does (we skip its inserts).
+    for _ in range(600):
+        writer.next_op()
+    assert seq.high_water >= WORKLOAD_D.record_count  # inserts happened
+    seen = set()
+    sampled = 0
+    while sampled < 2000:
+        op, args = reader.next_op()
+        if op is OpType.GET:
+            seen.add(args[0])
+            sampled += 1
+    newest = Workload.key_of(seq.high_water)
+    assert newest in seen, \
+        "reader's 'latest' distribution never reached the global newest key"
+
+
+def test_shared_insert_sequence_claims_disjoint_indices():
+    from repro.ycsb import WORKLOAD_D
+    from repro.ycsb.workload import InsertSequence
+    seq = InsertSequence(1000)
+    a = Workload(WORKLOAD_D, seed=1, insert_seq=seq)
+    b = Workload(WORKLOAD_D, seed=2, insert_seq=seq)
+    keys_a, keys_b = set(), set()
+    for _ in range(500):
+        op, args = a.next_op()
+        if op is OpType.INSERT:
+            keys_a.add(args[0])
+        op, args = b.next_op()
+        if op is OpType.INSERT:
+            keys_b.add(args[0])
+    assert keys_a and keys_b and not (keys_a & keys_b)
+    # contiguous global allocation: nothing skipped below the high-water
+    claimed = {int(k[4:].lstrip(b"0") or b"0") for k in keys_a | keys_b}
+    assert claimed == set(range(1000, seq.high_water + 1))
+
+
 def test_scan_workload_end_to_end():
     """Workload E drives LMDB cursors through the full RPC stack."""
     from repro.ycsb import WORKLOAD_E
