@@ -25,15 +25,16 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro import obs
 from repro.obs import trace as obstrace
 from repro.core.hints import ResolvedHints, resolve_hints
+from repro.core.overload import split_rej
 from repro.core.pipeline import (BoundedSeqidSet, CallHandle, ChannelPipeline,
                                  PipelineDead, pack_pip)
-from repro.core.resilience import CircuitBreaker, RetryPolicy
+from repro.core.resilience import CircuitBreaker, RetryBudget, RetryPolicy
 from repro.core.selector import (SMALL_MESSAGE_THRESHOLD, ProtocolChoice,
                                  select_protocol)
 from repro.core.tracing import FaultCounters
 from repro.protocols import ProtocolError
 from repro.sim.units import KiB
-from repro.thrift.errors import (TTransportException,
+from repro.thrift.errors import (TRejectedException, TTransportException,
                                  transport_exception_from_wc)
 from repro.verbs.cq import PollMode
 from repro.verbs.errors import QPStateError, WCError
@@ -299,6 +300,14 @@ class _PendingCall:
             self._gauge_idx = None
 
     def complete(self, resp) -> None:
+        if resp:
+            # A rejection frame is not a response: the request never
+            # dispatched server-side.  Hand it to the engine's rejection
+            # path (budgeted re-send or a typed TRejectedException).
+            retry_after, resp = split_rej(resp)
+            if retry_after is not None:
+                self.engine._on_rejected(self, retry_after)
+                return
         eng = self.engine
         now = eng.node.sim.now
         self.drop_gauge()
@@ -369,7 +378,16 @@ class HatRpcEngine:
       :class:`~repro.core.resilience.CircuitBreaker`; while a channel's
       breaker is open, calls degrade onto the best surviving channel of the
       same plan (two-sided eager first, then other RDMA, then TCP) and fail
-      back automatically once the primary's breaker re-admits traffic.
+      back automatically once the primary's breaker re-admits traffic;
+    * **rejection + budget** -- a server admission rejection (the typed
+      ``0xC5`` frame) is *not* a channel failure: the breaker is not
+      charged and -- because the gate runs before dispatch -- the re-send
+      is safe even for non-idempotent functions, after honoring the
+      server's advised ``retry_after``.  An optional shared
+      :class:`~repro.core.resilience.RetryBudget` bounds the aggregate
+      retry rate (transport *and* rejection retries) so a storm of
+      rejections cannot amplify itself; an exhausted budget surfaces the
+      typed :class:`~repro.thrift.errors.TRejectedException` immediately.
 
     Every decision lands in :attr:`faults` (counters) and
     :attr:`fault_trace` (an ordered, replayable list of
@@ -383,12 +401,17 @@ class HatRpcEngine:
                  idempotent: Sequence[str] = (),
                  rng: Optional[random.Random] = None,
                  seqid_cache: int = 4096,
-                 trace_attrs: Optional[Mapping[str, Any]] = None):
+                 trace_attrs: Optional[Mapping[str, Any]] = None,
+                 retry_budget: Optional[RetryBudget] = None):
         self.node = node
         self.plan = plan
         self.base_service_id = base_service_id
         self.deadline = deadline
         self.retry_policy = retry_policy or RetryPolicy()
+        #: optional shared token bucket bounding this engine's retry rate
+        #: (None = unlimited; pass ONE budget to many engines to bound
+        #: their sum)
+        self.retry_budget = retry_budget
         self.rng = rng or random.Random(0)
         self.idempotent_fns = set(idempotent)
         #: extra attributes stamped onto every call's trace (a shard router
@@ -775,6 +798,8 @@ class HatRpcEngine:
                                 f"seqid={seqid}")
                     raise last_exc from exc
                 if attempt + 1 < policy.max_attempts:
+                    if not self._spend_retry(fn_name, idx):
+                        break
                     self.faults.retries += 1
                     delay = policy.backoff(attempt, self.rng)
                     self._trace("retry", fn_name, idx,
@@ -785,6 +810,35 @@ class HatRpcEngine:
                         act.stage("backoff", t_back, self.node.sim.now,
                                   attempt=attempt + 1)
                 continue
+            if resp:
+                retry_after, resp = split_rej(resp)
+                if retry_after is not None:
+                    # Admission rejection: the request provably never
+                    # dispatched, so the re-send is safe regardless of
+                    # idempotency, and the transport worked -- the breaker
+                    # is credited, not charged.
+                    breaker.record_success()
+                    self.faults.rejections += 1
+                    self._trace("rejected", fn_name, idx,
+                                f"retry_after={retry_after:.2e}")
+                    if act is not None:
+                        act.end_attempt(self.node.sim.now, status="rejected")
+                    last_exc = TRejectedException(retry_after)
+                    if attempt + 1 < policy.max_attempts \
+                            and self._spend_retry(fn_name, idx):
+                        self.faults.rejected_retries += 1
+                        delay = max(retry_after,
+                                    policy.backoff(attempt, self.rng))
+                        self._trace("rejected_retry", fn_name, idx,
+                                    f"attempt={attempt + 1} "
+                                    f"backoff={delay:.2e}")
+                        t_back = self.node.sim.now
+                        yield self.node.sim.timeout(delay)
+                        if act is not None:
+                            act.stage("backoff", t_back, self.node.sim.now,
+                                      attempt=attempt + 1)
+                        continue
+                    raise last_exc
             if act is not None:
                 act.end_attempt(self.node.sim.now, status="ok")
             breaker.record_success()
@@ -929,7 +983,8 @@ class HatRpcEngine:
                             type(exc).__name__)
                 self._discard_channel(idx)
                 entry.attempt += 1
-                if entry.attempt < policy.max_attempts:
+                if entry.attempt < policy.max_attempts \
+                        and self._spend_retry(entry.fn, idx):
                     yield from self._async_backoff(entry, idx)
                     continue
                 entry.fail(self._map_error(exc))
@@ -976,7 +1031,8 @@ class HatRpcEngine:
                                 f"seqid={entry.seqid}")
                     entry.fail(self._map_error(cause))
                     return
-                if entry.attempt < policy.max_attempts:
+                if entry.attempt < policy.max_attempts \
+                        and self._spend_retry(entry.fn, idx):
                     yield from self._async_backoff(entry, idx)
                     continue
                 entry.fail(self._map_error(cause))
@@ -1045,7 +1101,8 @@ class HatRpcEngine:
                 self._trace("blind_retry_prevented", entry.fn, idx,
                             f"seqid={entry.seqid}")
                 entry.fail(mapped)
-            elif entry.attempt < policy.max_attempts and self._connected:
+            elif entry.attempt < policy.max_attempts and self._connected \
+                    and self._spend_retry(entry.fn, idx):
                 self.faults.retries += 1
                 delay = policy.backoff(entry.attempt - 1, self.rng)
                 self._trace("retry", entry.fn, idx,
@@ -1054,6 +1111,55 @@ class HatRpcEngine:
                                       name=f"resubmit-{entry.fn}")
             else:
                 entry.fail(mapped)
+
+    def _on_rejected(self, entry: _PendingCall, retry_after: float) -> None:
+        """A pipelined call came back REJECTED.
+
+        Rejection is load, not failure: the channel stays up, the breaker
+        is credited, and -- because admission runs before dispatch -- the
+        re-send is safe whatever the function's idempotency.  The entry is
+        re-submitted after honoring the server's ``retry_after`` (under the
+        retry budget), or failed with the typed exception.  Deliberately
+        NOT routed through ``entry.fail``: rerouting a rejection onto a
+        replica would shift the storm sideways instead of shedding it."""
+        now = self.node.sim.now
+        entry.drop_gauge()
+        self._breaker(entry.channel).record_success()
+        self.faults.rejections += 1
+        self._trace("rejected", entry.fn, entry.channel,
+                    f"retry_after={retry_after:.2e}")
+        if entry.act is not None:
+            entry.act.end_attempt(now, status="rejected")
+        entry.attempt += 1
+        if entry.attempt < self.retry_policy.max_attempts \
+                and self._connected \
+                and self._spend_retry(entry.fn, entry.channel):
+            self.faults.rejected_retries += 1
+            delay = max(retry_after,
+                        self.retry_policy.backoff(entry.attempt - 1,
+                                                  self.rng))
+            self._trace("rejected_retry", entry.fn, entry.channel,
+                        f"attempt={entry.attempt} backoff={delay:.2e}")
+            self.node.sim.process(self._resubmit(entry, delay),
+                                  name=f"resubmit-{entry.fn}")
+            return
+        if entry.seqid is not None:
+            self._sent_seqids.unpin((entry.fn, entry.seqid))
+        if entry.act is not None:
+            entry.act.finish(now, status="TRejectedException")
+        entry.handle._fail(TRejectedException(retry_after))
+
+    def _spend_retry(self, fn: str, idx: int) -> bool:
+        """One retry decision against the shared budget (None = unlimited).
+        A denial is terminal for the call: the typed error surfaces instead
+        of another wire attempt."""
+        if self.retry_budget is None:
+            return True
+        if self.retry_budget.try_spend():
+            return True
+        self.faults.budget_exhausted += 1
+        self._trace("retry_budget_exhausted", fn, idx)
+        return False
 
     def _resubmit(self, entry: _PendingCall, delay: float):
         """Detached process: back off, then re-run submission for one

@@ -1,0 +1,165 @@
+"""Overload protection: server admission control and typed rejection.
+
+Three pieces compose the graceful-degradation path:
+
+* :func:`pack_rej` / :func:`split_rej` -- the 12-byte rejection frame
+  (magic ``0xC5 'REJ'`` + f64 retry-after seconds) a server returns in
+  place of a response body when its admission gate refuses a request.
+  Like the ``0xC4`` correlation header one layer down, the magic byte
+  cannot start a Thrift binary message, so clients detect rejection
+  without a protocol round trip -- and because the gate runs *before*
+  dispatch, a rejected request provably never executed, which is what
+  makes re-sending it safe even for non-idempotent functions.
+* :class:`AdmissionGate` -- a token/occupancy gate keyed off in-flight
+  work.  Admission is priority-tiered against the ``priority`` IDL hint:
+  low-priority traffic is refused once occupancy crosses
+  ``low_fraction`` of capacity, normal at ``normal_fraction``, and
+  high-priority only when the gate is completely full -- the shed-order
+  guarantee (low strictly before high).  Rejections carry a
+  ``retry_after`` that grows with occupancy, so a storm's retries spread
+  out instead of synchronizing.
+* :func:`peek_fn_name` -- a read-only parse of a Thrift binary
+  message-begin, letting a server look up the function's resolved
+  priority before paying for full deserialization.
+
+The client half (the retry *budget* that keeps rejection retries from
+amplifying a storm) lives in :class:`repro.core.resilience.RetryBudget`;
+the engine composes both ends.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro import obs
+from repro.sim.units import us
+
+__all__ = [
+    "REJ_BYTES",
+    "AdmissionConfig",
+    "AdmissionGate",
+    "pack_rej",
+    "peek_fn_name",
+    "split_rej",
+]
+
+_REJ_MAGIC = b"\xc5REJ"
+_REJ = struct.Struct("!4sd")
+REJ_BYTES = _REJ.size          # 12
+
+
+def pack_rej(retry_after: float) -> bytes:
+    """The rejection frame for a request refused at admission."""
+    return _REJ.pack(_REJ_MAGIC, max(0.0, retry_after))
+
+
+def split_rej(data: bytes) -> Tuple[Optional[float], bytes]:
+    """(retry_after, rest) if ``data`` leads with a rejection frame, else
+    (None, data) -- ordinary responses pass through byte-identical."""
+    if len(data) < REJ_BYTES or data[:4] != _REJ_MAGIC:
+        return None, data
+    _magic, retry_after = _REJ.unpack_from(data)
+    return retry_after, data[REJ_BYTES:]
+
+
+def peek_fn_name(message: bytes) -> Optional[str]:
+    """The function name of a strict Thrift binary message, or None.
+
+    Read-only and allocation-light: header word, name length, name bytes.
+    Anything malformed (short buffer, non-strict framing, absurd length)
+    returns None -- the caller falls back to default-priority admission
+    rather than guessing.
+    """
+    if len(message) < 8:
+        return None
+    header = struct.unpack_from("!i", message)[0]
+    if header >= 0:                       # strict messages are negative
+        return None
+    (nlen,) = struct.unpack_from("!i", message, 4)
+    if nlen < 0 or nlen > 512 or len(message) < 8 + nlen:
+        return None
+    try:
+        return message[8:8 + nlen].decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs for one server's admission gate.
+
+    ``capacity`` is the total in-flight work the server accepts across
+    every connection and channel; the per-priority fractions set where
+    each tier starts shedding.  ``retry_after_base`` anchors the advised
+    backoff; the advice scales up with occupancy so rejected clients of a
+    deep queue wait longer than those of a barely-full one.
+    """
+
+    capacity: int = 64
+    low_fraction: float = 0.5
+    normal_fraction: float = 0.8
+    retry_after_base: float = 200 * us
+
+    def threshold(self, priority: str) -> int:
+        frac = {"low": self.low_fraction,
+                "normal": self.normal_fraction}.get(priority, 1.0)
+        return max(1, int(self.capacity * frac))
+
+
+class AdmissionGate:
+    """Priority-tiered occupancy gate over a server's in-flight work.
+
+    Not a coroutine -- admit/release are instantaneous bookkeeping, so the
+    gate can sit on any request path (RDMA bytes handler, TCP connection
+    loop) without perturbing event ordering.
+    """
+
+    def __init__(self, sim, config: Optional[AdmissionConfig] = None):
+        self.sim = sim
+        self.cfg = config or AdmissionConfig()
+        self.inflight = 0
+        self.high_water = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.shed_by_priority = {"low": 0, "normal": 0, "high": 0}
+        reg = obs.current()
+        if reg is not None:
+            self._m_occupancy = reg.gauge("admission.occupancy")
+            self._m_admitted = reg.counter("admission.admitted")
+            self._m_rejected = reg.counter("admission.rejected")
+            self._m_shed = {p: reg.counter(f"admission.shed.{p}")
+                            for p in ("low", "normal", "high")}
+        else:
+            self._m_occupancy = None
+            self._m_admitted = None
+            self._m_rejected = None
+            self._m_shed = None
+
+    def admit(self, priority: str = "normal") -> Optional[float]:
+        """None = admitted (caller owes a :meth:`release`); a float is the
+        advised ``retry_after`` of a rejection."""
+        if self.inflight >= self.cfg.threshold(priority):
+            self.rejected += 1
+            self.shed_by_priority[priority] = \
+                self.shed_by_priority.get(priority, 0) + 1
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
+                self._m_shed.get(priority, self._m_shed["normal"]).inc()
+            # Deeper queue -> longer advice; deterministic, so replayable.
+            occupancy = self.inflight / max(1, self.cfg.capacity)
+            return self.cfg.retry_after_base * (1.0 + occupancy)
+        self.inflight += 1
+        self.admitted += 1
+        self.high_water = max(self.high_water, self.inflight)
+        if self._m_occupancy is not None:
+            self._m_occupancy.set(self.inflight)
+            self._m_admitted.inc()
+        return None
+
+    def release(self) -> None:
+        if self.inflight > 0:
+            self.inflight -= 1
+        if self._m_occupancy is not None:
+            self._m_occupancy.set(self.inflight)

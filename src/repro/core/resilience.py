@@ -16,12 +16,13 @@ them (see :meth:`repro.core.engine.HatRpcEngine.call`).
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.sim.units import us
 
-__all__ = ["CircuitBreaker", "RetryPolicy"]
+__all__ = ["CircuitBreaker", "RetryBudget", "RetryPolicy"]
 
 
 @dataclass(frozen=True)
@@ -66,9 +67,12 @@ class CircuitBreaker:
 
     def __init__(self, sim, failure_threshold: int = 3,
                  reset_after: float = 1000 * us,
-                 on_open: Optional[Callable[["CircuitBreaker"], None]] = None):
+                 on_open: Optional[Callable[["CircuitBreaker"], None]] = None,
+                 transitions_cap: int = 256):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
+        if transitions_cap < 1:
+            raise ValueError("transitions_cap must be >= 1")
         self.sim = sim
         self.failure_threshold = failure_threshold
         self.reset_after = reset_after
@@ -79,10 +83,17 @@ class CircuitBreaker:
         self.opens = 0
         #: state-transition log: (sim time, from-state, to-state); purely
         #: clock-driven, so it replays byte-identically with the scenario.
-        self.transitions: List[Tuple[float, str, str]] = []
+        #: Bounded: a channel that flaps for the whole run keeps only the
+        #: most recent ``transitions_cap`` entries (``transitions_dropped``
+        #: counts the evicted ones) instead of growing without limit.
+        self.transitions: Deque[Tuple[float, str, str]] = \
+            deque(maxlen=transitions_cap)
+        self.transitions_dropped = 0
 
     def _goto(self, state: str) -> None:
         if state != self.state:
+            if len(self.transitions) == self.transitions.maxlen:
+                self.transitions_dropped += 1
             self.transitions.append((self.sim.now, self.state, state))
             self.state = state
 
@@ -110,3 +121,53 @@ class CircuitBreaker:
             self._goto(self.OPEN)
             self.opened_at = self.sim.now
             self.failures = 0
+
+
+class RetryBudget:
+    """A token bucket bounding a client's aggregate retry *rate*.
+
+    Retries amplify overload: a server shedding load makes every client
+    retry, which multiplies the offered load exactly when the server can
+    least absorb it.  The budget caps that feedback -- ``cap`` tokens,
+    refilled at ``refill_rate`` tokens per second of simulated time; every
+    retry (rejection or transport) spends one.  An empty bucket means the
+    retry is *not* taken and the typed error surfaces immediately, so the
+    steady-state retry rate of any one engine never exceeds
+    ``refill_rate`` however hard the storm.
+
+    Evaluated purely against the simulated clock: deterministic, and
+    shareable across the engines of one process (a shard router passes one
+    budget to all its per-shard engines so the *sum* of their retries is
+    what the cap bounds).
+    """
+
+    def __init__(self, sim, cap: float = 16.0, refill_rate: float = 1000.0):
+        if cap < 1.0:
+            raise ValueError("cap must be >= 1")
+        if refill_rate <= 0.0:
+            raise ValueError("refill_rate must be > 0")
+        self.sim = sim
+        self.cap = float(cap)
+        self.refill_rate = float(refill_rate)
+        self.tokens = float(cap)
+        self._last = sim.now
+        self.spent = 0
+        self.denied = 0
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        if now > self._last:
+            self.tokens = min(self.cap,
+                              self.tokens + (now - self._last)
+                              * self.refill_rate)
+            self._last = now
+
+    def try_spend(self) -> bool:
+        """Take one retry token; False = budget exhausted, fail fast."""
+        self._refill()
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False

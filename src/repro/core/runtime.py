@@ -18,10 +18,12 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.core.engine import HatRpcEngine, ServicePlan, build_service_plan
+from repro.core.overload import (AdmissionConfig, AdmissionGate, pack_rej,
+                                 peek_fn_name)
 from repro.core.pipeline import pack_pip, split_pip
 from repro.core.trdma import (HintedProtocol, TRdma, TRdmaServerTransport,
                               _PAUSE, _AsyncTRdma)
-from repro.protocols import ProtoConfig, get_protocol
+from repro.protocols import SRQ_SERVERS, ProtoConfig, get_protocol
 from repro.thrift.errors import TTransportException
 from repro.thrift.protocol.binary import TBinaryProtocol
 from repro.thrift.transport import (
@@ -161,14 +163,30 @@ class TcpChannel:
 # ---------------------------------------------------------------------------
 
 class HatRpcServer:
-    """Serves one IDL service over its full channel plan."""
+    """Serves one IDL service over its full channel plan.
+
+    ``admission`` (an :class:`~repro.core.overload.AdmissionConfig`, or a
+    pre-built :class:`~repro.core.overload.AdmissionGate` to share one gate
+    across services) installs priority-tiered admission control: every
+    request -- on every channel, RDMA and TCP alike -- passes ONE gate
+    before dispatch, keyed by the function's resolved ``priority`` hint,
+    and a refusal answers with the typed rejection frame.  ``srq=True``
+    swaps each eligible RDMA channel's server onto the shared-receive-queue
+    path (:class:`~repro.protocols.srq.SrqEagerServer`): one recv-WQE pool
+    and one dispatcher instead of a poll loop per connection, which is what
+    keeps a busy-polled server upright when connections outnumber cores.
+    ``srq_slots`` sizes that pool (default: the channel's ring depth).
+    """
 
     def __init__(self, node, gen_module, service_name: str, handler,
                  base_service_id: int = DEFAULT_BASE_SERVICE_ID,
                  protocol_factory: Callable = TBinaryProtocol,
                  concurrency: Optional[int] = None,
                  plan: Optional[ServicePlan] = None,
-                 pipeline: bool = False):
+                 pipeline: bool = False,
+                 admission=None,
+                 srq: bool = False,
+                 srq_slots: Optional[int] = None):
         self.node = node
         self.gen = gen_module
         self.service_name = service_name
@@ -180,6 +198,21 @@ class HatRpcServer:
         self.processor = getattr(gen_module, f"{service_name}Processor")(
             handler)
         self.endpoint = TRdmaServerTransport(node, self.plan, base_service_id)
+        self.srq = srq
+        self.srq_slots = srq_slots
+        if admission is None:
+            self.gate = None
+        elif isinstance(admission, AdmissionGate):
+            self.gate = admission
+        elif isinstance(admission, AdmissionConfig):
+            self.gate = AdmissionGate(node.sim, admission)
+        else:
+            raise TypeError("admission must be an AdmissionConfig or "
+                            f"AdmissionGate, not {type(admission).__name__}")
+        #: fn -> resolved server-side priority hint, for the pre-dispatch
+        #: peek (the shed-order key)
+        self._priorities = {fn: route.server_hints.priority
+                            for fn, route in self.plan.routes.items()}
 
     def start(self) -> "HatRpcServer":
         for ch in self.plan.channels:
@@ -187,16 +220,24 @@ class HatRpcServer:
             if ch.transport == "tcp":
                 server = TThreadedServer(
                     self.processor, TServerSocket(self.node, sid),
-                    protocol_factory=self.protocol_factory)
+                    protocol_factory=self.protocol_factory,
+                    admission=self.gate, priorities=self._priorities)
                 server.serve()
             else:
-                _, server_cls = get_protocol(ch.protocol)
+                server_cls = SRQ_SERVERS.get(ch.protocol) if self.srq \
+                    else None
+                if server_cls is None:
+                    _, server_cls = get_protocol(ch.protocol)
+                    extra = {}
+                else:
+                    extra = {"srq_slots": self.srq_slots} \
+                        if self.srq_slots is not None else {}
                 cfg = ProtoConfig(poll_mode=ch.server_poll,
                                   max_msg=ch.max_msg,
                                   numa_local=ch.server_numa,
                                   window=ch.window)
                 server = server_cls(self.node.nic, sid,
-                                    self._bytes_handler(), cfg)
+                                    self._bytes_handler(), cfg, **extra)
                 server.start()
             self.endpoint.add(server)
         return self
@@ -213,6 +254,8 @@ class HatRpcServer:
         processor = self.processor
         factory = self.protocol_factory
         sim = self.node.sim
+        gate = self.gate
+        priorities = self._priorities
 
         def handle(request: bytes):
             # A pipelined request leads with the engine's correlation
@@ -220,6 +263,30 @@ class HatRpcServer:
             # receiver can pair out-of-order completions.  Sync requests
             # have no header and stay byte-identical both ways.
             pip_seq, request = split_pip(request)
+            if gate is not None:
+                # Admission runs before deserialization, let alone
+                # dispatch: only the function name is peeked, so a
+                # rejection costs the server a header parse and one tiny
+                # reply -- that cheapness is what makes shedding work.
+                priority = priorities.get(peek_fn_name(request), "normal")
+                retry_after = gate.admit(priority)
+                ap = sim.active_process
+                ctx = ap.trace_ctx if ap is not None else None
+                if ctx is not None:
+                    ctx.stage("admission", sim.now, sim.now,
+                              admitted=retry_after is None,
+                              priority=priority)
+                if retry_after is not None:
+                    rej = pack_rej(retry_after)
+                    return pack_pip(pip_seq) + rej \
+                        if pip_seq is not None else rej
+                try:
+                    return (yield from _process(pip_seq, request))
+                finally:
+                    gate.release()
+            return (yield from _process(pip_seq, request))
+
+        def _process(pip_seq, request):
             itrans = TMemoryBuffer(request)
             # Hand the serve loop's trace context (a ServerCall, or None)
             # to the processor, which has no simulator handle of its own.
@@ -250,7 +317,8 @@ class HatRpcClient:
                  plan: Optional[ServicePlan] = None,
                  deadline: Optional[float] = None,
                  retry_policy=None, idempotent=(), rng=None,
-                 pipeline: bool = False, trace_attrs=None):
+                 pipeline: bool = False, trace_attrs=None,
+                 retry_budget=None):
         self.node = node
         self.gen = gen_module
         self.service_name = service_name
@@ -261,7 +329,8 @@ class HatRpcClient:
                                    deadline=deadline,
                                    retry_policy=retry_policy,
                                    idempotent=idempotent, rng=rng,
-                                   trace_attrs=trace_attrs)
+                                   trace_attrs=trace_attrs,
+                                   retry_budget=retry_budget)
         self.trans = TRdma(self.engine)
         self.protocol = HintedProtocol(protocol_factory(self.trans),
                                        self.trans)
@@ -431,7 +500,8 @@ def hatrpc_connect(node, remote_node, gen_module, service_name: str,
                    plan: Optional[ServicePlan] = None,
                    deadline: Optional[float] = None,
                    retry_policy=None, idempotent=(), rng=None,
-                   pipeline: bool = False, trace_attrs=None):
+                   pipeline: bool = False, trace_attrs=None,
+                   retry_budget=None):
     """Coroutine: one-call client setup; returns the generated stub.
 
     The stub's methods are coroutines: ``yield from stub.Method(...)``.
@@ -448,7 +518,7 @@ def hatrpc_connect(node, remote_node, gen_module, service_name: str,
                           protocol_factory, concurrency, plan,
                           deadline=deadline, retry_policy=retry_policy,
                           idempotent=idempotent, rng=rng, pipeline=pipeline,
-                          trace_attrs=trace_attrs)
+                          trace_attrs=trace_attrs, retry_budget=retry_budget)
     stub = yield from client.connect(remote_node)
     stub._hatrpc = client
     return stub

@@ -1,20 +1,22 @@
 """Deterministic, seeded fault injection for the simulated testbed.
 
 Declare a :class:`FaultPlan` (link flaps, packet-loss windows, forced QP
-errors, server crash/restart), arm it with a :class:`FaultInjector`, and
-run the workload -- the same plan + seed always replays the identical
-execution.  See DESIGN.md, "Fault model & recovery".
+errors, server crash/restart, overload storms), arm it with a
+:class:`FaultInjector`, and run the workload -- the same plan + seed always
+replays the identical execution.  See DESIGN.md, "Fault model & recovery".
 """
 
-from repro.faults.plan import (FaultPlan, LinkFlap, PacketLoss, QPError,
-                               ServerCrash)
-from repro.faults.injector import FaultInjector
+from repro.faults.plan import (FaultPlan, LinkFlap, OverloadStorm, PacketLoss,
+                               QPError, ServerCrash)
+from repro.faults.injector import FaultInjector, StormHandle
 
 __all__ = [
     "FaultInjector",
     "FaultPlan",
     "LinkFlap",
+    "OverloadStorm",
     "PacketLoss",
     "QPError",
     "ServerCrash",
+    "StormHandle",
 ]

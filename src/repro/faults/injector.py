@@ -7,7 +7,12 @@ simulator's native mechanisms:
   clock-evaluated windows on the fabric ports -- no injector process runs
   during the window, so they cannot perturb event ordering;
 * instant events (:class:`QPError`, :class:`ServerCrash`) are driven by one
-  injector process per event that sleeps to the scheduled time and acts.
+  injector process per event that sleeps to the scheduled time and acts;
+* load events (:class:`OverloadStorm`) are driven the same way, except the
+  "act" is calling back into the scenario: the injector cannot invent RPC
+  traffic, so drivers registered via :meth:`FaultInjector.on_storm` are
+  started at ``ev.start`` with a :class:`StormHandle` and the handle is
+  deactivated at ``ev.end`` (drivers poll ``handle.active`` between calls).
 
 Everything the injector does is appended to :attr:`FaultInjector.log` as
 ``(sim_time, kind, node)`` tuples, giving tests a replayable record.
@@ -17,10 +22,23 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Tuple
 
-from repro.faults.plan import (FaultPlan, LinkFlap, PacketLoss, QPError,
-                               ServerCrash)
+from repro.faults.plan import (FaultPlan, LinkFlap, OverloadStorm, PacketLoss,
+                               QPError, ServerCrash)
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "StormHandle"]
+
+
+class StormHandle:
+    """Liveness flag for one OverloadStorm window.
+
+    Handed to every :meth:`FaultInjector.on_storm` hook at storm start;
+    ``active`` flips to False exactly at ``ev.end``, telling the driver's
+    load generators to stop issuing new calls (in-flight calls drain
+    normally -- a storm ends by easing off, not by vanishing mid-RPC).
+    """
+
+    def __init__(self):
+        self.active = True
 
 
 class FaultInjector:
@@ -40,11 +58,24 @@ class FaultInjector:
         #: optional per-node callbacks run after a crashed node restores
         #: (e.g. restart its servers); registered via :meth:`on_restore`.
         self._restart: Dict[str, List[Callable[[], None]]] = {}
+        #: scenario drivers for OverloadStorm events; see :meth:`on_storm`.
+        self._storm_hooks: List[
+            Callable[[OverloadStorm, StormHandle], None]] = []
         self._armed = False
 
     def on_restore(self, node_name: str, hook: Callable[[], None]) -> None:
         """Run ``hook`` after ``node_name`` comes back from a ServerCrash."""
         self._restart.setdefault(node_name, []).append(hook)
+
+    def on_storm(self,
+                 hook: Callable[[OverloadStorm, StormHandle], None]) -> None:
+        """Run ``hook(event, handle)`` at each OverloadStorm's start.
+
+        The hook must return immediately (spawn simulator processes for the
+        actual load) and have its generators stop once ``handle.active`` is
+        False.
+        """
+        self._storm_hooks.append(hook)
 
     def arm(self) -> "FaultInjector":
         if self._armed:
@@ -67,6 +98,9 @@ class FaultInjector:
             elif isinstance(ev, ServerCrash):
                 self.sim.process(self._crash(ev),
                                  name=f"fault-crash-{ev.node}")
+            elif isinstance(ev, OverloadStorm):
+                self.sim.process(self._storm(ev),
+                                 name=f"fault-storm-{ev.node}")
         self.log.sort()
         return self
 
@@ -95,4 +129,15 @@ class FaultInjector:
         self.log.append((self.sim.now, "restore", ev.node))
         for hook in self._restart.get(ev.node, ()):
             hook()
+        self.log.sort()
+
+    def _storm(self, ev: OverloadStorm):
+        yield self.sim.timeout(ev.start)
+        handle = StormHandle()
+        self.log.append((self.sim.now, "storm_start", ev.node))
+        for hook in self._storm_hooks:
+            hook(ev, handle)
+        yield self.sim.timeout(ev.duration)
+        handle.active = False
+        self.log.append((self.sim.now, "storm_end", ev.node))
         self.log.sort()

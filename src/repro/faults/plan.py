@@ -19,6 +19,11 @@ Event types
 * :class:`ServerCrash` -- fail-stop the node at ``at``, restore it
   ``downtime`` later.  Crash kills live QPs, listeners, and TCP
   connections; durable state (e.g. HatKV's LMDB) survives.
+* :class:`OverloadStorm` -- a burst of ``clients`` extra load generators
+  from ``node`` over a window.  Pure load, no broken hardware: the injector
+  cannot fabricate RPC traffic itself, so scenarios register the driver via
+  :meth:`~repro.faults.injector.FaultInjector.on_storm` and the injector
+  starts/stops it on schedule (deterministically, like every other event).
 """
 
 from __future__ import annotations
@@ -26,7 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union
 
-__all__ = ["FaultPlan", "LinkFlap", "PacketLoss", "QPError", "ServerCrash"]
+__all__ = ["FaultPlan", "LinkFlap", "OverloadStorm", "PacketLoss", "QPError",
+           "ServerCrash"]
 
 
 @dataclass(frozen=True)
@@ -71,7 +77,19 @@ class ServerCrash:
         return self.at + self.downtime
 
 
-FaultEvent = Union[LinkFlap, PacketLoss, QPError, ServerCrash]
+@dataclass(frozen=True)
+class OverloadStorm:
+    node: str                 # node the storm's clients run on
+    start: float
+    duration: float
+    clients: int = 32         # extra load generators during the window
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+FaultEvent = Union[LinkFlap, PacketLoss, QPError, ServerCrash, OverloadStorm]
 
 
 @dataclass(frozen=True)
@@ -85,7 +103,7 @@ class FaultPlan:
         object.__setattr__(self, "events", tuple(self.events))
         for ev in self.events:
             if not isinstance(ev, (LinkFlap, PacketLoss, QPError,
-                                   ServerCrash)):
+                                   ServerCrash, OverloadStorm)):
                 raise TypeError(f"unknown fault event type: {ev!r}")
 
     def event_seed(self, index: int) -> int:

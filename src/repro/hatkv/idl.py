@@ -15,6 +15,8 @@ paper's HatRPC-Service ablation).
 
 from __future__ import annotations
 
+from typing import Mapping, Optional
+
 from repro.idl import load_idl
 
 __all__ = ["hatkv_idl", "load_hatkv_module"]
@@ -22,7 +24,17 @@ __all__ = ["hatkv_idl", "load_hatkv_module"]
 _COUNTER = [0]
 
 
-def hatkv_idl(variant: str = "function", concurrency: int = 128) -> str:
+def hatkv_idl(variant: str = "function", concurrency: int = 128,
+              priorities: Optional[Mapping[str, str]] = None) -> str:
+    """The KVService IDL text.
+
+    ``priorities`` optionally maps function names to a ``priority`` hint
+    level (``high``/``normal``/``low``) for admission-controlled
+    deployments -- e.g. ``{"Scan": "low"}`` marks scans as first to shed
+    under overload.  Opt-in because the priority hint also feeds the
+    selector (low-priority functions take the resource-efficient polling
+    path), which changes the channel plan.
+    """
     if variant not in ("service", "function"):
         raise ValueError("variant must be 'service' or 'function'")
     fn_hints = {
@@ -37,6 +49,16 @@ def hatkv_idl(variant: str = "function", concurrency: int = 128) -> str:
     } if variant == "function" else {k: "" for k in
                                      ("Get", "Put", "MultiGet", "MultiPut",
                                       "Scan")}
+    for fn, level in (priorities or {}).items():
+        if fn not in fn_hints:
+            raise KeyError(f"unknown KVService function {fn!r}")
+        if level not in ("high", "normal", "low"):
+            raise ValueError(f"priority for {fn!r} must be high/normal/low, "
+                             f"not {level!r}")
+        clause = f"hint: priority = {level};"
+        block = fn_hints[fn]
+        fn_hints[fn] = f"[ {clause} ]" if not block \
+            else block[:-1].rstrip() + f" {clause} ]"
     return f"""
 // HatKV service (Figure 10).  Variant: HatRPC-{variant.capitalize()}.
 
@@ -60,7 +82,8 @@ service KVService {{
 """
 
 
-def load_hatkv_module(variant: str = "function", concurrency: int = 128):
+def load_hatkv_module(variant: str = "function", concurrency: int = 128,
+                      priorities: Optional[Mapping[str, str]] = None):
     _COUNTER[0] += 1
-    return load_idl(hatkv_idl(variant, concurrency),
+    return load_idl(hatkv_idl(variant, concurrency, priorities),
                     f"hatkv_gen_{variant}_{_COUNTER[0]}")

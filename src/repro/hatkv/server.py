@@ -115,7 +115,10 @@ class HatKVServer:
                  base_service_id: int = BASE_SID,
                  tune_backend: bool = True,
                  pipeline: bool = False,
-                 shard: Optional[int] = None):
+                 shard: Optional[int] = None,
+                 admission=None,
+                 srq: bool = False,
+                 srq_slots: Optional[int] = None):
         self.node = node
         self.gen = gen_module
         self.shard = shard
@@ -135,10 +138,14 @@ class HatKVServer:
                                  shard=shard)
         # pipeline=True provisions windowed channels; connect the clients
         # with pipeline=True too -- both peers must share the plan.
+        # admission/srq: the overload-protection stack (see HatRpcServer) --
+        # priority-tiered admission ahead of LMDB work, and the SRQ receive
+        # path so client count can outgrow the node's core count.
         self.rpc = HatRpcServer(node, gen_module, SERVICE, self.handler,
                                 base_service_id=base_service_id,
                                 concurrency=concurrency, plan=plan,
-                                pipeline=pipeline)
+                                pipeline=pipeline, admission=admission,
+                                srq=srq, srq_slots=srq_slots)
 
     def start(self) -> "HatKVServer":
         self.rpc.start()

@@ -31,6 +31,7 @@ from repro.protocols.base import (
     protocol_names,
 )
 from repro.protocols import directwrite, serverbypass, twosided  # registers
+from repro.protocols.srq import SRQ_SERVERS, SrqEagerServer
 
 __all__ = [
     "HDR_BYTES",
@@ -38,6 +39,8 @@ __all__ = [
     "ProtocolError",
     "RpcClient",
     "RpcServer",
+    "SRQ_SERVERS",
+    "SrqEagerServer",
     "get_protocol",
     "protocol_names",
 ]

@@ -6,6 +6,7 @@ __all__ = [
     "TApplicationException",
     "TException",
     "TProtocolException",
+    "TRejectedException",
     "TTransportException",
     "transport_exception_from_wc",
 ]
@@ -25,10 +26,28 @@ class TTransportException(TException):
     ALREADY_OPEN = 2
     TIMED_OUT = 3
     END_OF_FILE = 4
+    REJECTED = 5
 
     def __init__(self, type: int = UNKNOWN, message: str = ""):
         super().__init__(message)
         self.type = type
+
+
+class TRejectedException(TTransportException):
+    """Server admission control refused the request *before* dispatch.
+
+    Distinct from TIMED_OUT in every way that matters to a caller: the
+    server is alive, the request provably never executed (safe to re-send
+    even when non-idempotent), and the server named the earliest useful
+    retry time -- ``retry_after`` seconds of backoff.
+    """
+
+    def __init__(self, retry_after: float = 0.0, message: str = ""):
+        super().__init__(
+            self.REJECTED,
+            message or f"server rejected under overload "
+                       f"(retry after {retry_after * 1e6:.0f}us)")
+        self.retry_after = retry_after
 
 
 #: verbs WCStatus.value -> TTransportException type.  RNR exhaustion and

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro import obs
+from repro.core.overload import pack_rej, peek_fn_name
 from repro.obs import trace as obstrace
 from repro.sim.core import Simulator
 from repro.sim.sync import Store
@@ -26,11 +27,17 @@ class TServer:
 
     def __init__(self, processor: TProcessor, server_transport,
                  protocol_factory: Callable = TBinaryProtocol,
-                 transport_factory: Callable = TFramedTransport):
+                 transport_factory: Callable = TFramedTransport,
+                 admission=None, priorities=None):
         self.processor = processor
         self.server_transport = server_transport
         self.protocol_factory = protocol_factory
         self.transport_factory = transport_factory
+        #: optional AdmissionGate + {fn: priority} map: requests are gated
+        #: BEFORE dispatch, and a refusal answers with the typed rejection
+        #: frame (never a silent drop or a timeout).
+        self.admission = admission
+        self.priorities = dict(priorities or {})
         self.sim: Simulator = server_transport.node.sim
         self.connections = 0
         self.requests = 0
@@ -91,6 +98,25 @@ class TServer:
                         prev_ctx = proc.trace_ctx
                         proc.trace_ctx = srv
             trans.trace_ctx = srv
+            admitted = False
+            if self.admission is not None:
+                priority = self.priorities.get(
+                    peek_fn_name(trans.peek(128)), "normal")
+                retry_after = self.admission.admit(priority)
+                if retry_after is not None:
+                    # Rejected before dispatch: the unread frame dies here
+                    # (the next ready() replaces the buffer) and the typed
+                    # rejection frame goes back in its place.
+                    if srv is not None:
+                        srv.stage("admission", self.sim.now, self.sim.now,
+                                  admitted=False, priority=priority)
+                        srv.finish(self.sim.now, status="rejected")
+                    if proc is not None:
+                        proc.trace_ctx = prev_ctx
+                    trans.write(pack_rej(retry_after))
+                    yield from trans.flush()
+                    continue
+                admitted = True
             try:
                 if srv is not None:
                     srv.open_stage("dispatch", self.sim.now)
@@ -104,6 +130,8 @@ class TServer:
                     srv.stage("reply", t_reply, self.sim.now)
                     srv.finish(self.sim.now)
             finally:
+                if admitted:
+                    self.admission.release()
                 if proc is not None:
                     proc.trace_ctx = prev_ctx
             self.requests += 1

@@ -142,6 +142,14 @@ class QP:
             rwr = self._recv_queue.popleft()
             self.recv_cq.push(WC(rwr.wr_id, WCOpcode.RECV,
                                  WCStatus.WR_FLUSH_ERR, qp_num=self.qp_num))
+        if self.srq is not None:
+            # SRQ WQEs belong to the pool, not this QP, so there is nothing
+            # of ours to flush -- but the owner of the shared CQ still needs
+            # to learn this connection died.  Real HCAs raise the
+            # "last WQE reached" async event; the simulator models it as a
+            # single flush WC carrying our qp_num on the shared recv CQ.
+            self.recv_cq.push(WC(0, WCOpcode.RECV, WCStatus.WR_FLUSH_ERR,
+                                 qp_num=self.qp_num))
 
     def _take_recv(self) -> Optional[RecvWR]:
         if self.srq is not None:

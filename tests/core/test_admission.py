@@ -1,0 +1,142 @@
+"""Unit tests for the admission-control pieces: the rejection frame, the
+read-only function-name peek, and the priority-tiered gate."""
+
+import struct
+
+import pytest
+
+from repro.core.overload import (
+    REJ_BYTES,
+    AdmissionConfig,
+    AdmissionGate,
+    pack_rej,
+    peek_fn_name,
+    split_rej,
+)
+
+
+class FakeSim:
+    now = 0.0
+
+
+def strict_msg(name: str, mtype: int = 1, seqid: int = 7) -> bytes:
+    """A strict Thrift binary message-begin + seqid (as TBinaryProtocol
+    writes it)."""
+    nb = name.encode("utf-8")
+    return struct.pack("!I", 0x80010000 | mtype) + \
+        struct.pack("!i", len(nb)) + nb + struct.pack("!i", seqid)
+
+
+# -- rejection frame ---------------------------------------------------------
+
+def test_rej_roundtrip():
+    frame = pack_rej(1.5e-3)
+    assert len(frame) == REJ_BYTES
+    retry_after, rest = split_rej(frame + b"tail")
+    assert retry_after == pytest.approx(1.5e-3)
+    assert rest == b"tail"
+
+
+def test_rej_clamps_negative_retry_after():
+    retry_after, _ = split_rej(pack_rej(-1.0))
+    assert retry_after == 0.0
+
+
+def test_split_rej_passes_ordinary_responses_through():
+    for data in (b"", b"\x00", strict_msg("Get"), b"\xc5RE",
+                 b"\xc4PIPxxxx" + strict_msg("Get")):
+        retry_after, rest = split_rej(data)
+        assert retry_after is None
+        assert rest == data             # byte-identical pass-through
+
+
+def test_rej_magic_cannot_start_a_strict_thrift_message():
+    # Strict message headers are 0x8001xxxx; 0xC5 'REJ' collides with
+    # neither a strict header nor the 0xC4 PIP magic one layer down.
+    assert strict_msg("AnyFn")[0] == 0x80
+    assert pack_rej(0.0)[0] == 0xC5
+
+
+# -- function-name peek ------------------------------------------------------
+
+def test_peek_fn_name_reads_strict_messages():
+    assert peek_fn_name(strict_msg("Get")) == "Get"
+    assert peek_fn_name(strict_msg("MultiPut", mtype=4)) == "MultiPut"
+
+
+def test_peek_fn_name_rejects_malformed_input():
+    assert peek_fn_name(b"") is None
+    assert peek_fn_name(b"\x00" * 7) is None                 # short
+    assert peek_fn_name(struct.pack("!i", 3) + b"Get\x00") is None  # non-strict
+    msg = strict_msg("Get")
+    assert peek_fn_name(msg[:9]) is None                     # truncated name
+    huge = struct.pack("!I", 0x80010001) + struct.pack("!i", 100000)
+    assert peek_fn_name(huge + b"x" * 16) is None            # absurd length
+    bad_utf8 = struct.pack("!I", 0x80010001) + \
+        struct.pack("!i", 2) + b"\xff\xfe" + struct.pack("!i", 0)
+    assert peek_fn_name(bad_utf8) is None
+
+
+# -- admission gate ----------------------------------------------------------
+
+def gate(capacity=10, low=0.5, normal=0.8):
+    return AdmissionGate(FakeSim(), AdmissionConfig(
+        capacity=capacity, low_fraction=low, normal_fraction=normal))
+
+
+def test_gate_admits_until_capacity_then_rejects():
+    g = gate(capacity=4)
+    for _ in range(4):
+        assert g.admit("high") is None
+    retry_after = g.admit("high")
+    assert retry_after is not None and retry_after > 0
+    assert g.admitted == 4 and g.rejected == 1
+    assert g.high_water == 4
+
+
+def test_shed_order_low_before_normal_before_high():
+    g = gate(capacity=10, low=0.5, normal=0.8)
+    for _ in range(5):
+        assert g.admit("normal") is None
+    # occupancy 5 = low threshold: low sheds, normal and high still admitted
+    assert g.admit("low") is not None
+    assert g.admit("normal") is None
+    assert g.admit("normal") is None
+    assert g.admit("normal") is None            # occupancy 8
+    assert g.admit("normal") is not None        # normal sheds at 0.8
+    assert g.admit("high") is None              # high rides to capacity...
+    assert g.admit("high") is None              # occupancy 10 = full
+    assert g.admit("high") is not None          # ... and only sheds full
+    assert g.shed_by_priority == {"low": 1, "normal": 1, "high": 1}
+
+
+def test_release_reopens_the_gate():
+    g = gate(capacity=2)
+    assert g.admit("high") is None
+    assert g.admit("high") is None
+    assert g.admit("high") is not None
+    g.release()
+    assert g.admit("high") is None
+    assert g.inflight == 2
+    # release never underflows
+    for _ in range(5):
+        g.release()
+    assert g.inflight == 0
+
+
+def test_retry_after_grows_with_occupancy():
+    g = gate(capacity=10, low=0.1)
+    assert g.admit("normal") is None
+    shallow = g.admit("low")
+    for _ in range(6):
+        assert g.admit("normal") is None
+    deep = g.admit("low")
+    assert deep > shallow                       # advice scales with depth
+
+
+def test_unknown_priority_treated_as_high_threshold():
+    # Defensive: an unmapped priority string falls back to full capacity.
+    g = gate(capacity=2)
+    assert g.admit("??") is None
+    assert g.admit("??") is None
+    assert g.admit("??") is not None

@@ -290,6 +290,35 @@ def test_circuit_breaker_state_machine():
     assert br.state == br.CLOSED and br.allow()
 
 
+def test_circuit_breaker_transition_log_bounded_under_flapping():
+    """Sustained flapping must not grow the transition log without limit:
+    the deque keeps the most recent ``transitions_cap`` entries and counts
+    the evicted ones."""
+    class FakeSim:
+        now = 0.0
+
+    sim = FakeSim()
+    cap = 8
+    br = CircuitBreaker(sim, failure_threshold=1, reset_after=10 * us,
+                        transitions_cap=cap)
+    # Each lap is CLOSED->OPEN, OPEN->HALF_OPEN, HALF_OPEN->CLOSED:
+    # 3 transitions x 100 laps of flapping.
+    for _ in range(100):
+        br.record_failure()                    # -> OPEN
+        sim.now += br.reset_after + 1 * us
+        assert br.allow()                      # -> HALF_OPEN probe
+        br.record_success()                    # -> CLOSED
+    assert len(br.transitions) == cap          # bounded, not 300
+    assert br.transitions_dropped == 300 - cap
+    # The survivors are the most recent entries, in order.
+    times = [t for t, _f, _t in br.transitions]
+    assert times == sorted(times)
+    assert br.transitions[-1][1:] == (br.HALF_OPEN, br.CLOSED)
+
+    with pytest.raises(ValueError):
+        CircuitBreaker(sim, transitions_cap=0)
+
+
 # -- server-side write-transaction abort -------------------------------------
 
 def test_hatkv_write_txn_aborts_when_handler_dies_mid_rpc():

@@ -1,0 +1,132 @@
+"""Direct SRQ unit tests: the shared recv-WQE pool behind the SRQ server path.
+
+The end-to-end SRQ tests live in test_qp.py (shared delivery) and
+tests/protocols (the SrqEagerServer); these pin the SRQ object's own
+contract -- the invariants the server path builds on.
+"""
+
+import pytest
+
+from repro.sim.units import us
+from repro.verbs import (
+    MemoryAccessError,
+    Opcode,
+    QPStateError,
+    RecvWR,
+    SendWR,
+    Sge,
+)
+from repro.verbs.qp import connect_pair
+
+
+def run(tb, gen):
+    return tb.sim.run(tb.sim.process(gen))
+
+
+def test_post_recv_on_srq_qp_raises_qp_state_error(tb, srq_pair):
+    """A QP created over an SRQ must refuse per-QP recv postings -- the
+    whole point is that the pool, not the QP, owns recv WQEs."""
+    mr = srq_pair.spd.reg_mr(64)
+
+    def post():
+        yield from srq_pair.sqp.post_recv(RecvWR(Sge(mr.addr, 64, mr.lkey)))
+
+    p = tb.sim.process(post())
+    with pytest.raises(QPStateError):
+        tb.sim.run(p)
+
+
+def test_take_on_empty_srq_returns_none(tb, srq_pair):
+    assert len(srq_pair.srq) == 0
+    assert srq_pair.srq._take() is None
+    # And stays empty -- _take on empty must not corrupt the queue.
+    assert len(srq_pair.srq) == 0
+
+
+def test_post_recv_validates_lkey(tb, srq_pair):
+    mr = srq_pair.spd.reg_mr(64)
+
+    def bad_key():
+        yield from srq_pair.srq.post_recv(
+            RecvWR(Sge(mr.addr, 64, 0xBADBAD)))
+
+    p = tb.sim.process(bad_key())
+    with pytest.raises(MemoryAccessError):
+        tb.sim.run(p)
+
+    def out_of_bounds():
+        yield from srq_pair.srq.post_recv(
+            RecvWR(Sge(mr.addr, 4096, mr.lkey)))
+
+    p = tb.sim.process(out_of_bounds())
+    with pytest.raises(MemoryAccessError):
+        tb.sim.run(p)
+    assert len(srq_pair.srq) == 0  # nothing enqueued on either failure
+
+
+def test_srq_drains_fifo_across_multiple_qps(tb, srq_pair):
+    """WQEs come off the shared pool in posting order regardless of which
+    QP consumes them -- the property that makes one pool serve N clients."""
+    p = srq_pair
+    # A second client QP on the same SRQ-backed server.
+    c_scq2 = p.cdev.create_cq()
+    c_rcq2 = p.cdev.create_cq()
+    cqp2 = p.cdev.create_qp(p.cpd, c_scq2, c_rcq2)
+    s_scq2 = p.sdev.create_cq()
+    sqp2 = p.sdev.create_qp(p.spd, s_scq2, p.s_rcq, srq=p.srq)
+    connect_pair(cqp2, sqp2)
+
+    bufs = [p.spd.reg_mr(64) for _ in range(4)]
+
+    def setup():
+        for i, mr in enumerate(bufs):
+            yield from p.srq.post_recv(
+                RecvWR(Sge(mr.addr, 64, mr.lkey), wr_id=i))
+
+    run(tb, setup())
+    assert len(p.srq) == 4
+
+    smr = p.cpd.reg_mr(64)
+
+    def send_via(qp, scq, payload):
+        smr.write(payload)
+        yield from qp.post_send(
+            SendWR(Opcode.SEND, Sge(smr.addr, 64, smr.lkey)))
+        yield from scq.wait_busy()
+
+    # Alternate senders; each send fully completes before the next posts,
+    # so arrival order (and thus WQE consumption order) is deterministic.
+    run(tb, send_via(p.cqp, p.c_scq, b"A" * 64))
+    run(tb, send_via(cqp2, c_scq2, b"B" * 64))
+    run(tb, send_via(p.cqp, p.c_scq, b"C" * 64))
+    run(tb, send_via(cqp2, c_scq2, b"D" * 64))
+
+    assert len(p.srq) == 0
+    wcs = p.s_rcq.poll(8)
+    assert [w.wr_id for w in wcs] == [0, 1, 2, 3]  # FIFO pool order
+    # Each WC names its consuming QP, and buffers were filled in pool order.
+    assert [w.qp_num for w in wcs] == \
+        [p.sqp.qp_num, sqp2.qp_num, p.sqp.qp_num, sqp2.qp_num]
+    assert [bufs[i].read(1) for i in range(4)] == [b"A", b"B", b"C", b"D"]
+
+
+def test_srq_exhaustion_rnr_recovers_after_repost(tb, srq_pair):
+    """An empty pool behaves like RNR on a plain QP: the sender retries and
+    lands once anyone reposts to the shared pool."""
+    p = srq_pair
+    smr = p.cpd.reg_mr(64)
+    rmr = p.spd.reg_mr(64)
+
+    def client():
+        yield from p.cqp.post_send(
+            SendWR(Opcode.SEND, Sge(smr.addr, 16, smr.lkey)))
+        wcs = yield from p.c_scq.wait_busy()
+        return wcs
+
+    def late_repost():
+        yield tb.sim.timeout(30 * us)
+        yield from p.srq.post_recv(RecvWR(Sge(rmr.addr, 64, rmr.lkey)))
+
+    tb.sim.process(late_repost())
+    wcs = run(tb, client())
+    assert wcs[0].ok
