@@ -15,8 +15,16 @@ direction declared by the baseline metric's ``better`` field:
 ``--override GLOB=TOL`` sets a per-metric tolerance (fnmatch glob over the
 metric name, first match wins; may be repeated).  Records whose
 ``config_hash`` changed are reported but not compared -- a deliberate
-config change is not a regression.  Exit codes: 0 ok, 1 regression,
-2 usage/IO error.
+config change is not a regression.
+
+A baseline record or metric that is *absent from the current run* fails
+the gate: a benchmark that silently stops running is exactly the
+regression this script exists to catch.  ``--allow-missing`` downgrades
+that to a warning (for intentionally retired benchmarks -- refresh the
+baseline instead where possible).  ``--summary PATH`` appends a markdown
+report (worst offenders first) suitable for ``$GITHUB_STEP_SUMMARY``.
+
+Exit codes: 0 ok, 1 regression or missing coverage, 2 usage/IO error.
 """
 
 from __future__ import annotations
@@ -75,18 +83,35 @@ def compare_metric(name: str, base: Dict, new: Dict, tol: float) -> str:
 
 def diff(baseline: List[BenchRecord], current: List[BenchRecord],
          default_tol: float, overrides: List[Tuple[str, float]],
-         verbose: bool = False) -> Tuple[int, List[str]]:
-    """Returns (n_regressions, report_lines)."""
+         verbose: bool = False, allow_missing: bool = False
+         ) -> Tuple[int, int, List[str], List[Dict]]:
+    """Returns (n_regressions, n_missing, report_lines, rows).
+
+    ``rows`` carries one dict per reportable comparison (for the markdown
+    summary): status, record id, metric, base/new values, signed delta %,
+    tolerance %, and ``badness`` -- how far beyond tolerance the metric
+    moved in the *wrong* direction (0 for non-regressions).
+    """
     lines: List[str] = []
+    rows: List[Dict] = []
     base_by_key = {r.key: r for r in baseline}
     cur_by_key = {r.key: r for r in current}
-    regressions = 0
+    regressions = missing = 0
     compared = improved = 0
+    miss_word = "WARNING" if allow_missing else "MISSING"
+
+    def miss(rid: str, what: str) -> None:
+        nonlocal missing
+        missing += 1
+        lines.append(f"{miss_word} {rid}: {what}")
+        rows.append({"status": "missing", "record": rid, "metric": what,
+                     "base": None, "new": None, "delta": None, "tol": None,
+                     "badness": 0.0})
 
     for key in sorted(base_by_key):
         rid = "/".join(key)
         if key not in cur_by_key:
-            lines.append(f"WARNING {rid}: missing from current run")
+            miss(rid, "missing from current run")
             continue
         base, cur = base_by_key[key], cur_by_key[key]
         if base.config_hash != cur.config_hash:
@@ -96,7 +121,7 @@ def diff(baseline: List[BenchRecord], current: List[BenchRecord],
             continue
         for mname in sorted(base.metrics):
             if mname not in cur.metrics:
-                lines.append(f"WARNING {rid}: metric {mname} missing")
+                miss(rid, f"metric {mname} missing")
                 continue
             tol = tolerance_for(mname, default_tol, overrides)
             verdict = compare_metric(mname, base.metrics[mname],
@@ -109,11 +134,21 @@ def diff(baseline: List[BenchRecord], current: List[BenchRecord],
             delta = (nv - bv) / bv * 100 if bv else 0.0
             if verdict == REGRESSED:
                 regressions += 1
+                better = base.metrics[mname].get("better", "lower")
+                bad = delta if better == "lower" else -delta
                 lines.append(
                     f"REGRESSED {rid} {mname}: {bv:g} -> {nv:g} "
                     f"({delta:+.1f}%, tol ±{tol * 100:.0f}%)")
+                rows.append({"status": "regressed", "record": rid,
+                             "metric": mname, "base": bv, "new": nv,
+                             "delta": delta, "tol": tol * 100,
+                             "badness": bad - tol * 100})
             elif verdict == IMPROVED:
                 improved += 1
+                rows.append({"status": "improved", "record": rid,
+                             "metric": mname, "base": bv, "new": nv,
+                             "delta": delta, "tol": tol * 100,
+                             "badness": 0.0})
                 if verbose:
                     lines.append(f"improved  {rid} {mname}: "
                                  f"{bv:g} -> {nv:g} ({delta:+.1f}%)")
@@ -124,8 +159,44 @@ def diff(baseline: List[BenchRecord], current: List[BenchRecord],
         lines.append(f"NOTE    {'/'.join(key)}: new record "
                      "(no baseline); consider refreshing the baseline")
     lines.append(f"compared {compared} metrics: {regressions} regressed, "
-                 f"{improved} improved")
-    return regressions, lines
+                 f"{improved} improved, {missing} missing")
+    return regressions, missing, lines, rows
+
+
+_STATUS_ORDER = {"regressed": 0, "missing": 1, "improved": 2}
+_STATUS_MARK = {"regressed": "🔴 regressed", "missing": "⚠️ missing",
+                "improved": "🟢 improved"}
+
+
+def write_summary(path: str, failed: bool, regressions: int, missing: int,
+                  rows: List[Dict], allow_missing: bool) -> None:
+    """Append a markdown report -- worst offenders first -- to ``path``."""
+    # Regressions sorted by how far past tolerance they landed, then
+    # missing coverage, then improvements; steady metrics stay off the
+    # report (the log has them under --verbose).
+    ordered = sorted(rows, key=lambda r: (_STATUS_ORDER[r["status"]],
+                                          -r["badness"]))
+    out = ["## Bench regression check", ""]
+    verdict = "**FAIL**" if failed else "**PASS**"
+    n_improved = sum(1 for r in rows if r["status"] == "improved")
+    out.append(f"{verdict} — {regressions} regressed, {missing} missing"
+               f"{' (allowed)' if allow_missing and missing else ''}, "
+               f"{n_improved} improved")
+    if ordered:
+        out += ["", "| status | record | metric | baseline | current | Δ |",
+                "|---|---|---|---|---|---|"]
+        for r in ordered:
+            if r["status"] == "missing":
+                out.append(f"| {_STATUS_MARK['missing']} | {r['record']} | "
+                           f"{r['metric']} | — | — | — |")
+            else:
+                out.append(
+                    f"| {_STATUS_MARK[r['status']]} | {r['record']} | "
+                    f"{r['metric']} | {r['base']:g} | {r['new']:g} | "
+                    f"{r['delta']:+.1f}% (tol ±{r['tol']:.0f}%) |")
+    out.append("")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("\n".join(out) + "\n")
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -138,6 +209,12 @@ def main(argv: List[str] | None = None) -> int:
     ap.add_argument("--override", action="append", default=[],
                     metavar="GLOB=TOL",
                     help="per-metric tolerance override (repeatable)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="baseline records/metrics absent from the current "
+                         "run warn instead of failing the gate")
+    ap.add_argument("--summary", metavar="PATH",
+                    help="append a markdown report (worst offenders first) "
+                         "to PATH, e.g. \"$GITHUB_STEP_SUMMARY\"")
     ap.add_argument("--verbose", action="store_true",
                     help="also print non-regressed comparisons")
     args = ap.parse_args(argv)
@@ -150,12 +227,28 @@ def main(argv: List[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    regressions, lines = diff(baseline, current, args.tolerance, overrides,
-                              verbose=args.verbose)
+    regressions, missing, lines, rows = diff(
+        baseline, current, args.tolerance, overrides,
+        verbose=args.verbose, allow_missing=args.allow_missing)
     for line in lines:
         print(line)
-    if regressions:
-        print(f"\nFAIL: {regressions} metric(s) regressed beyond tolerance")
+    failed = bool(regressions or (missing and not args.allow_missing))
+    if args.summary:
+        try:
+            write_summary(args.summary, failed, regressions, missing, rows,
+                          args.allow_missing)
+        except OSError as exc:
+            print(f"error: cannot write summary: {exc}", file=sys.stderr)
+            return 2
+    if failed:
+        parts = []
+        if regressions:
+            parts.append(f"{regressions} metric(s) regressed "
+                         "beyond tolerance")
+        if missing and not args.allow_missing:
+            parts.append(f"{missing} baseline metric(s)/record(s) missing "
+                         "from the current run")
+        print(f"\nFAIL: {'; '.join(parts)}")
         return 1
     print("\nPASS: no regressions beyond tolerance")
     return 0

@@ -27,10 +27,11 @@ from repro.obs import trace as obstrace
 from repro.core.hints import ResolvedHints, resolve_hints
 from repro.core.overload import split_rej
 from repro.core.pipeline import (BoundedSeqidSet, CallHandle, ChannelPipeline,
-                                 PipelineDead, pack_pip)
+                                 PipelineDead, pack_epo, pack_pip, split_epo)
 from repro.core.resilience import CircuitBreaker, RetryBudget, RetryPolicy
-from repro.core.selector import (SMALL_MESSAGE_THRESHOLD, ProtocolChoice,
-                                 select_protocol)
+from repro.core.selector import (SMALL_MESSAGE_THRESHOLD,
+                                 TUNER_CONCURRENCY_GRID, TUNER_PAYLOAD_GRID,
+                                 ProtocolChoice, select_protocol)
 from repro.core.tracing import FaultCounters
 from repro.protocols import ProtocolError
 from repro.sim.units import KiB
@@ -77,6 +78,10 @@ class ChannelPlan:
     #: in-flight window this channel is provisioned for (slot count on the
     #: wire, admission bound in the engine); 1 = classic blocking geometry.
     window: int = 1
+    #: True for a channel provisioned ONLY as a tuner target: no function
+    #: routes here at plan time, but the server serves it and the online
+    #: tuner may re-route functions onto it at runtime.
+    alternate: bool = False
 
     def key(self):
         return (self.transport, self.protocol, self.server_poll,
@@ -106,7 +111,8 @@ def build_service_plan(service: str,
                        hint_map: Mapping[str, Any],
                        function_names: Sequence[str],
                        concurrency_override: Optional[int] = None,
-                       pipeline: bool = False
+                       pipeline: bool = False,
+                       tunable: bool = False
                        ) -> ServicePlan:
     """Derive the channel plan for one service.
 
@@ -117,6 +123,16 @@ def build_service_plan(service: str,
     for overlapped requests: the in-flight window is sized from the
     concurrency hint (clamped to [4, 64]) and both peers must pass the same
     flag -- window size changes the wire-slot geometry.
+
+    ``tunable=True`` (or a ``tunable = true`` hint anywhere in the service)
+    appends **alternate channels**: one per selector choice reachable over
+    the tuning grid that no declared channel already covers, provisioned
+    with the conservative unhinted buffer floor.  They carry no functions
+    at plan time; an attached :class:`~repro.core.tuner.HintTuner`
+    re-routes functions onto them at runtime.  Both peers derive the same
+    alternates from the same hint map, so the server is already serving
+    every channel the tuner could ever pick -- the switch is pure
+    client-side routing, no renegotiation.
     """
     service_map = hint_map.get("service", {})
     fn_maps = hint_map.get("functions", {})
@@ -183,6 +199,48 @@ def build_service_plan(service: str,
             functions=tuple(entry["functions"]),
             window=window))
         key_to_index[key] = i
+
+    if not tunable:
+        tunable = any(r["server"].tunable or r["client"].tunable
+                      for r in routes.values())
+    if tunable:
+        # Alternates get the unhinted floor: the tuner switches *because*
+        # the declared payload hint went stale, so the target must fit
+        # whatever actually shows up (the tuner still checks max_msg
+        # against the observed payloads before routing there).
+        alt_max_msg = _UNHINTED_MAX_MSG + _MAX_MSG_SLACK
+        covered = {key[:6] for key, entry in keyed.items()
+                   if entry["max_msg"] >= alt_max_msg}
+        alts: Dict[tuple, int] = {}
+        for r in routes.values():
+            server, client = r["server"], r["client"]
+            for conc in TUNER_CONCURRENCY_GRID:
+                for payload in TUNER_PAYLOAD_GRID:
+                    alt_wire = select_protocol(
+                        replace(server, payload_size=payload,
+                                concurrency=conc))
+                    alt_client = select_protocol(
+                        replace(client, payload_size=payload,
+                                concurrency=conc))
+                    k6 = (alt_wire.transport, alt_wire.protocol,
+                          alt_wire.poll_mode, alt_client.poll_mode,
+                          server.numa_binding, client.numa_binding)
+                    if k6 in covered:
+                        continue
+                    alts[k6] = max(alts.get(k6, 1), server.concurrency,
+                                   client.concurrency)
+        for k6 in sorted(alts, key=repr):
+            transport, protocol, s_poll, c_poll, s_numa, c_numa = k6
+            window = 1
+            if pipeline and transport == "rdma":
+                window = min(max(alts[k6], _MIN_WINDOW), _MAX_WINDOW)
+            channels.append(ChannelPlan(
+                index=len(channels), transport=transport, protocol=protocol,
+                server_poll=s_poll, client_poll=c_poll,
+                server_numa=s_numa, client_numa=c_numa,
+                max_msg=alt_max_msg, resp_size=_UNHINTED_MAX_MSG,
+                functions=(), alternate=True, window=window))
+
     final_routes = {
         fn: FunctionRoute(channel=key_to_index[r["key"]],
                           resp_hint=r["resp_hint"],
@@ -244,6 +302,11 @@ def plan_with_window(plan: ServicePlan, window: int) -> ServicePlan:
 _CHANNEL_ERRORS = (WCError, QPStateError, ProtocolError, ConnectionError,
                    TTransportException)
 
+#: trace-event kinds that are good news: they never mark the trace for
+#: always-commit (everything else in the fault trace does)
+_BENIGN_TRACE_KINDS = ("failback", "tuner_switch", "tuner_revert",
+                       "tuner_retire")
+
 
 class _PendingCall:
     """One asynchronous call from post to completion.
@@ -256,7 +319,7 @@ class _PendingCall:
 
     __slots__ = ("engine", "fn", "route", "message", "oneway", "seqid",
                  "handle", "act", "attempt", "channel", "t_start",
-                 "_gauge_idx")
+                 "_gauge_idx", "epoch")
 
     def __init__(self, engine, fn, route, message, oneway, seqid, handle,
                  act):
@@ -272,16 +335,18 @@ class _PendingCall:
         self.channel = -1
         self.t_start = engine.node.sim.now
         self._gauge_idx = None
+        self.epoch = None            # tuner plan epoch riding on the wire
 
     @property
     def resp_hint(self):
         return self.route.resp_hint
 
     def wire(self, pip_seq):
-        """The bytes for the wire: [trace envelope][pip header][message]."""
+        """The wire bytes: [trace envelope][pip header][epoch][message]."""
         env = self.act.envelope() if self.act is not None else b""
         pip = pack_pip(pip_seq) if pip_seq is not None else b""
-        return env + pip + self.message
+        epo = pack_epo(self.epoch) if self.epoch is not None else b""
+        return env + pip + epo + self.message
 
     def mark_inflight(self, idx: int) -> None:
         self.channel = idx
@@ -300,15 +365,18 @@ class _PendingCall:
             self._gauge_idx = None
 
     def complete(self, resp) -> None:
+        eng = self.engine
+        resp_epoch = None
+        if eng.tuner is not None and resp:
+            resp_epoch, resp = split_epo(resp)
         if resp:
             # A rejection frame is not a response: the request never
             # dispatched server-side.  Hand it to the engine's rejection
             # path (budgeted re-send or a typed TRejectedException).
             retry_after, resp = split_rej(resp)
             if retry_after is not None:
-                self.engine._on_rejected(self, retry_after)
+                eng._on_rejected(self, retry_after)
                 return
-        eng = self.engine
         now = eng.node.sim.now
         self.drop_gauge()
         if self.seqid is not None:
@@ -327,6 +395,14 @@ class _PendingCall:
             self.act.end_attempt(now, status="ok")
             self.act.finish(now, status="ok",
                             resp_bytes=len(resp or b""))
+        if eng.tuner is not None and not self.oneway:
+            eng.tuner.observe(
+                self.fn, len(self.message), now - self.t_start, now,
+                self.channel,
+                epoch_ok=(resp_epoch is None
+                          or resp_epoch == eng.tuner.epoch))
+        if eng._drain_pending:
+            eng._drain_unrouted()
         self.handle._resolve(b"" if self.oneway else resp)
 
     def fail(self, exc: BaseException) -> None:
@@ -433,6 +509,12 @@ class HatRpcEngine:
         self._connected = False
         self._closed = False
         self.calls_routed = 0
+        #: optional online HintTuner (attach_tuner); None = declared hints
+        #: only, and the whole tuner path costs one attribute check.
+        self.tuner = None
+        #: blocking calls in flight per channel (drain-and-close gating)
+        self._ch_calls: Dict[int, int] = {}
+        self._drain_pending = False
         # -- observability (instruments captured once; None = disabled, so
         # the per-call cost of a disabled run is one attribute check) --
         self._obs = obs.current()
@@ -504,6 +586,67 @@ class HatRpcEngine:
     def mark_idempotent(self, *fn_names: str) -> None:
         """Register functions that are safe to re-send after a failure."""
         self.idempotent_fns.update(fn_names)
+
+    # -- online tuning -------------------------------------------------------
+    def attach_tuner(self, tuner) -> None:
+        """Install an online :class:`~repro.core.tuner.HintTuner`.
+
+        The engine starts tagging RDMA requests with the tuner's plan epoch
+        and feeding it one (payload, latency) sample per completed call.
+        One tuner may be shared by many engines built from the same hint
+        map (e.g. every client of a service): samples pool and a switch
+        re-routes all of them together.
+        """
+        self.tuner = tuner
+        tuner.bind(self)
+
+    def retarget(self, fn: str, idx: int, choice: ProtocolChoice) -> None:
+        """Re-route ``fn`` onto channel ``idx`` (the tuner's switch path).
+
+        The target must already be in the plan -- tunable plans carry
+        alternate channels for every reachable choice -- so the server is
+        serving it and no wire renegotiation happens; in-flight calls
+        complete on their old channel (their epoch tag marks their samples
+        stale)."""
+        route = self.plan.routes[fn]
+        routes = dict(self.plan.routes)
+        routes[fn] = replace(route, channel=idx, choice=choice)
+        self.plan = replace(self.plan, routes=routes)
+        self._drain_pending = True
+        self._drain_unrouted()
+
+    def _drain_unrouted(self) -> None:
+        """Close channels no route references, once their last call drains.
+
+        A tuner switch leaves the old channel open but unrouted; holding
+        it open would keep its server-side poller running (a busy-polled
+        connection burns a server core each) -- the exact cost the switch
+        was meant to shed.  Channels with calls still in flight are left
+        for the next completion to retire; a later re-route (or failover)
+        simply reopens a retired channel lazily."""
+        used = {r.channel for r in self.plan.routes.values()}
+        pending = False
+        for idx in list(self._channels):
+            if idx in used:
+                continue
+            pipe = self._pipelines.get(idx)
+            if self._ch_calls.get(idx, 0) or \
+                    (pipe is not None and pipe.pending):
+                pending = True
+                continue
+            self._retire_channel(idx)
+        self._drain_pending = pending
+
+    def _retire_channel(self, idx: int) -> None:
+        """Close an idle, unrouted channel.  Unlike ``_discard_channel``
+        this is not a failure: no fault counters, no breaker charge."""
+        pipe = self._pipelines.pop(idx, None)
+        if pipe is not None:
+            pipe.drain()                   # idle: marks dead, returns []
+        chan = self._channels.pop(idx, None)
+        if chan is not None:
+            chan.close()
+            self._trace("tuner_retire", "", idx, "unrouted channel closed")
 
     # -- channels ------------------------------------------------------------
     def _open_channel(self, ch):
@@ -580,7 +723,7 @@ class HatRpcEngine:
             # always-commit -- except failback, which is good news.
             ctx = obstrace.active(self.node.sim)
             if ctx is not None:
-                ctx.event(kind, now, fault=(kind != "failback"),
+                ctx.event(kind, now, fault=kind not in _BENIGN_TRACE_KINDS,
                           fn=fn, channel=channel, detail=detail)
 
     # -- the call path -------------------------------------------------------
@@ -752,6 +895,13 @@ class HatRpcEngine:
                     if act is not None:
                         act.stage("connect", t_conn, self.node.sim.now,
                                   channel=idx)
+                    if self.tuner is not None and idx not in {
+                            r.channel for r in self.plan.routes.values()}:
+                        # The tuner retargeted away from this channel while
+                        # its handshake was in flight -- the retarget-time
+                        # drain could not see it.  Run the committed call,
+                        # then let the completion-side drain retire it.
+                        self._drain_pending = True
                 sent = True
                 if seqid is not None:
                     # Pinned while in flight: cap pressure from later calls
@@ -769,6 +919,11 @@ class HatRpcEngine:
                 # is empty for unsampled, unfaulted calls.
                 wire_msg = message if act is None \
                     else act.envelope() + message
+                if self.tuner is not None \
+                        and self.plan.channels[idx].transport == "rdma":
+                    env = b"" if act is None else act.envelope()
+                    wire_msg = env + pack_epo(self.tuner.epoch) + message
+                self._ch_calls[idx] = self._ch_calls.get(idx, 0) + 1
                 try:
                     resp = yield from chan.call(wire_msg,
                                                 resp_hint=route.resp_hint,
@@ -777,11 +932,17 @@ class HatRpcEngine:
                     # Every exit path decrements -- including a deadline
                     # interrupt delivered into chan.call, which used to
                     # leave the gauge permanently high.
+                    self._ch_calls[idx] -= 1
                     if inflight is not None:
                         inflight.dec()
                         inflight = None
             except _CHANNEL_ERRORS as exc:
                 last_exc = self._map_error(exc)
+                if self.tuner is not None and isinstance(exc, ProtocolError):
+                    # Oversize payloads are the tuner's urgent case: the
+                    # declared payload hint is provably wrong, not merely
+                    # slow, so it may retarget without the usual dwell.
+                    self.tuner.observe_error(fn_name, len(message), idx)
                 if act is not None:
                     # Close the attempt before recording events so faults
                     # read as root-level siblings of the attempt subtrees.
@@ -810,6 +971,12 @@ class HatRpcEngine:
                         act.stage("backoff", t_back, self.node.sim.now,
                                   attempt=attempt + 1)
                 continue
+            resp_epoch = None
+            if self.tuner is not None and resp:
+                # The server echoes the request's epoch tag ahead of the
+                # response (rejections come back untagged; split_epo
+                # passes them through).
+                resp_epoch, resp = split_epo(resp)
             if resp:
                 retry_after, resp = split_rej(resp)
                 if retry_after is not None:
@@ -851,6 +1018,14 @@ class HatRpcEngine:
                     m[0].inc()
                     m[1].inc(len(message))
                     m[2].inc(len(resp or b""))
+            if self.tuner is not None and not oneway:
+                self.tuner.observe(
+                    fn_name, len(message), self.node.sim.now - t_start,
+                    self.node.sim.now, idx,
+                    epoch_ok=(resp_epoch is None
+                              or resp_epoch == self.tuner.epoch))
+            if self._drain_pending:
+                self._drain_unrouted()
             return resp
         if last_exc is not None:
             raise last_exc
@@ -976,6 +1151,10 @@ class HatRpcEngine:
             breaker = self._breaker(idx)
             try:
                 pipe = yield from self._pipeline_for(idx)
+                if self.tuner is not None and idx not in {
+                        r.channel for r in self.plan.routes.values()}:
+                    # Retargeted mid-open: commit this call, drain after.
+                    self._drain_pending = True
             except _CHANNEL_ERRORS as exc:
                 breaker.record_failure()
                 self.faults.channel_failures += 1
@@ -998,6 +1177,9 @@ class HatRpcEngine:
             if entry.seqid is not None:
                 self._sent_seqids.add((entry.fn, entry.seqid), pinned=True)
             self._note_routing(entry.fn, entry.route, idx)
+            entry.epoch = (self.tuner.epoch if self.tuner is not None
+                           and self.plan.channels[idx].transport == "rdma"
+                           else None)
             p = sim.active_process
             prev_ctx = p.trace_ctx if p is not None else None
             if p is not None:
@@ -1022,6 +1204,10 @@ class HatRpcEngine:
                 # The post itself failed: wire state is unknown.
                 breaker.record_failure()
                 self.faults.channel_failures += 1
+                if self.tuner is not None \
+                        and isinstance(cause, ProtocolError):
+                    self.tuner.observe_error(entry.fn, len(entry.message),
+                                             idx)
                 self._trace("channel_error", entry.fn, idx,
                             type(cause).__name__)
                 self._discard_channel(idx)

@@ -27,7 +27,14 @@ transport       str      rdma | tcp        (hybrid transports)
 polling         str      busy | event      (explicit override)
 priority        str      high | normal | low
 batch_size      int      expected batching factor (>= 1)
+tunable         bool     allow the online tuner to re-resolve choices
 =============== ======== ===========================================
+
+``tunable`` extends the paper's grammar for the closed-loop tuner: a
+tunable service's channel plan is provisioned with alternate channels so
+an attached :class:`~repro.core.tuner.HintTuner` can re-route functions
+at runtime; the declared hints remain the starting point and the
+fallback.
 """
 
 from __future__ import annotations
@@ -89,6 +96,7 @@ HINT_SCHEMA: Dict[str, HintSpec] = {
         HintSpec("priority", str, lambda v: v in ("high", "normal", "low"),
                  "one of high|normal|low"),
         HintSpec("batch_size", int, lambda v: v >= 1, "integer >= 1"),
+        HintSpec("tunable", bool, lambda v: True, "bool"),
     ]
 }
 
@@ -100,6 +108,7 @@ DEFAULT_HINTS: Dict[str, Any] = {
     "transport": "rdma",
     "priority": "normal",
     "batch_size": 1,
+    "tunable": False,
     # 'polling' has no default: absent means "derive from perf_goal".
 }
 
@@ -144,6 +153,7 @@ class ResolvedHints:
     transport: str
     priority: str
     batch_size: int
+    tunable: bool = False
     polling: Optional[str] = None   # None -> selector derives from perf_goal
     extras: Mapping[str, Any] = field(default_factory=dict)
 

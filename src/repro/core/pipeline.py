@@ -26,11 +26,18 @@ engine's asynchronous path (`call_async` / `call_many`) composes:
 * :class:`BoundedSeqidSet` -- the LRU-bounded (function, seqid) set behind
   the engine's idempotency gate, so a long-lived client's duplicate-send
   guard does not grow one entry per call forever.
+* :func:`pack_epo` / :func:`split_epo` -- the 8-byte tuner-epoch tag
+  (magic ``0xC6 'EPO'`` + u32 epoch) a tuner-enabled engine prepends to
+  every RDMA request.  The server strips it, records the highest epoch it
+  has seen, and echoes it onto the response; a client whose tuner has
+  since re-planned drops the stale sample instead of attributing it to
+  the new choice -- the split-brain guard for plans changing mid-flight.
 
 The magic byte ``0xC4`` cannot start a Thrift binary message (strict
 messages start ``0x80``; non-strict ones with a sane name length start
 ``0x00``), so servers detect the header without ambiguity -- the same trick
-the ``0xC3`` trace envelope uses one layer up.
+the ``0xC3`` trace envelope uses one layer up (and the ``0xC6`` epoch tag
+one layer down).
 """
 
 from __future__ import annotations
@@ -42,18 +49,25 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 from repro.thrift.errors import TTransportException
 
 __all__ = [
+    "EPO_BYTES",
     "PIP_BYTES",
     "BoundedSeqidSet",
     "CallHandle",
     "ChannelPipeline",
     "PipelineDead",
+    "pack_epo",
     "pack_pip",
+    "split_epo",
     "split_pip",
 ]
 
 _PIP_MAGIC = b"\xc4PIP"
 _PIP = struct.Struct("!4sI")
 PIP_BYTES = _PIP.size          # 8
+
+_EPO_MAGIC = b"\xc6EPO"
+_EPO = struct.Struct("!4sI")
+EPO_BYTES = _EPO.size          # 8
 
 
 def pack_pip(seq: int) -> bytes:
@@ -68,6 +82,20 @@ def split_pip(data: bytes) -> Tuple[Optional[int], bytes]:
         return None, data
     _magic, seq = _PIP.unpack_from(data)
     return seq, data[PIP_BYTES:]
+
+
+def pack_epo(epoch: int) -> bytes:
+    """The tuner-epoch tag for plan epoch ``epoch``."""
+    return _EPO.pack(_EPO_MAGIC, epoch & 0xFFFFFFFF)
+
+
+def split_epo(data: bytes) -> Tuple[Optional[int], bytes]:
+    """(epoch, payload) if ``data`` leads with an epoch tag, else
+    (None, data) -- untagged messages pass through byte-identical."""
+    if len(data) < EPO_BYTES or data[:4] != _EPO_MAGIC:
+        return None, data
+    _magic, epoch = _EPO.unpack_from(data)
+    return epoch, data[EPO_BYTES:]
 
 
 class BoundedSeqidSet:

@@ -20,7 +20,7 @@ from typing import Any, Callable, Optional
 from repro.core.engine import HatRpcEngine, ServicePlan, build_service_plan
 from repro.core.overload import (AdmissionConfig, AdmissionGate, pack_rej,
                                  peek_fn_name)
-from repro.core.pipeline import pack_pip, split_pip
+from repro.core.pipeline import pack_epo, pack_pip, split_epo, split_pip
 from repro.core.trdma import (HintedProtocol, TRdma, TRdmaServerTransport,
                               _PAUSE, _AsyncTRdma)
 from repro.protocols import SRQ_SERVERS, ProtoConfig, get_protocol
@@ -43,12 +43,16 @@ DEFAULT_BASE_SERVICE_ID = 5000
 
 def service_plan_of(gen_module, service_name: str,
                     concurrency: Optional[int] = None,
-                    pipeline: bool = False) -> ServicePlan:
+                    pipeline: bool = False,
+                    tunable: bool = False) -> ServicePlan:
     """Build the channel plan from a generated module's hint map.
 
     ``pipeline=True`` provisions RDMA channels for overlapped in-flight
     requests (window sized from the concurrency hint); both peers must
-    build their plan with the same flag.
+    build their plan with the same flag.  ``tunable=True`` (or a
+    ``tunable`` hint on any function) additionally provisions the
+    alternate channels the online :class:`~repro.core.tuner.HintTuner`
+    may retarget onto; like ``pipeline``, both peers must agree.
     """
     hint_map = gen_module.SERVICE_HINTS.get(service_name)
     if hint_map is None:
@@ -57,7 +61,7 @@ def service_plan_of(gen_module, service_name: str,
     functions = gen_module.SERVICE_FUNCTIONS[service_name]
     return build_service_plan(service_name, hint_map, functions,
                               concurrency_override=concurrency,
-                              pipeline=pipeline)
+                              pipeline=pipeline, tunable=tunable)
 
 
 # ---------------------------------------------------------------------------
@@ -186,7 +190,8 @@ class HatRpcServer:
                  pipeline: bool = False,
                  admission=None,
                  srq: bool = False,
-                 srq_slots: Optional[int] = None):
+                 srq_slots: Optional[int] = None,
+                 tunable: bool = False):
         self.node = node
         self.gen = gen_module
         self.service_name = service_name
@@ -194,7 +199,14 @@ class HatRpcServer:
         self.base_service_id = base_service_id
         self.protocol_factory = protocol_factory
         self.plan = plan or service_plan_of(gen_module, service_name,
-                                            concurrency, pipeline=pipeline)
+                                            concurrency, pipeline=pipeline,
+                                            tunable=tunable)
+        #: highest tuner plan epoch seen on the wire (-1: none yet).  The
+        #: server needs no tuner of its own -- dispatch is channel-agnostic
+        #: and a tunable plan already serves every alternate -- but the
+        #: echoed epoch is the client's split-brain guard, and this counter
+        #: is the observable proof the peers converged.
+        self.tuner_epoch_seen = -1
         self.processor = getattr(gen_module, f"{service_name}Processor")(
             handler)
         self.endpoint = TRdmaServerTransport(node, self.plan, base_service_id)
@@ -257,12 +269,20 @@ class HatRpcServer:
         gate = self.gate
         priorities = self._priorities
 
+        server = self
+
         def handle(request: bytes):
             # A pipelined request leads with the engine's correlation
             # header; strip it and echo it onto the response so the client
             # receiver can pair out-of-order completions.  Sync requests
             # have no header and stay byte-identical both ways.
             pip_seq, request = split_pip(request)
+            # A tuner-tagged request next carries the client's plan epoch;
+            # echo it so the client can discard samples issued under a
+            # stale plan.  Untagged requests round-trip unchanged.
+            epoch, request = split_epo(request)
+            if epoch is not None and epoch > server.tuner_epoch_seen:
+                server.tuner_epoch_seen = epoch
             if gate is not None:
                 # Admission runs before deserialization, let alone
                 # dispatch: only the function name is peeked, so a
@@ -277,16 +297,19 @@ class HatRpcServer:
                               admitted=retry_after is None,
                               priority=priority)
                 if retry_after is not None:
+                    # No epoch echo on a rejection: the typed frame must
+                    # stay recognizable to every client, tuned or not (and
+                    # a shed request says nothing about the plan choice).
                     rej = pack_rej(retry_after)
                     return pack_pip(pip_seq) + rej \
                         if pip_seq is not None else rej
                 try:
-                    return (yield from _process(pip_seq, request))
+                    return (yield from _process(pip_seq, epoch, request))
                 finally:
                     gate.release()
-            return (yield from _process(pip_seq, request))
+            return (yield from _process(pip_seq, epoch, request))
 
-        def _process(pip_seq, request):
+        def _process(pip_seq, epoch, request):
             itrans = TMemoryBuffer(request)
             # Hand the serve loop's trace context (a ServerCall, or None)
             # to the processor, which has no simulator handle of its own.
@@ -298,6 +321,8 @@ class HatRpcServer:
             replied = yield from processor.process(factory(itrans),
                                                    factory(otrans))
             out = otrans.getvalue() if replied else b""
+            if epoch is not None:
+                out = pack_epo(epoch) + out
             if pip_seq is not None:
                 # Echo even on an empty (oneway) reply: the header alone
                 # lets the client release the window slot.
@@ -318,19 +343,23 @@ class HatRpcClient:
                  deadline: Optional[float] = None,
                  retry_policy=None, idempotent=(), rng=None,
                  pipeline: bool = False, trace_attrs=None,
-                 retry_budget=None):
+                 retry_budget=None, tunable: bool = False, tuner=None):
         self.node = node
         self.gen = gen_module
         self.service_name = service_name
         self.protocol_factory = protocol_factory
         self.plan = plan or service_plan_of(gen_module, service_name,
-                                            concurrency, pipeline=pipeline)
+                                            concurrency, pipeline=pipeline,
+                                            tunable=tunable or
+                                            tuner is not None)
         self.engine = HatRpcEngine(node, self.plan, base_service_id,
                                    deadline=deadline,
                                    retry_policy=retry_policy,
                                    idempotent=idempotent, rng=rng,
                                    trace_attrs=trace_attrs,
                                    retry_budget=retry_budget)
+        if tuner is not None:
+            self.engine.attach_tuner(tuner)
         self.trans = TRdma(self.engine)
         self.protocol = HintedProtocol(protocol_factory(self.trans),
                                        self.trans)
@@ -501,7 +530,7 @@ def hatrpc_connect(node, remote_node, gen_module, service_name: str,
                    deadline: Optional[float] = None,
                    retry_policy=None, idempotent=(), rng=None,
                    pipeline: bool = False, trace_attrs=None,
-                   retry_budget=None):
+                   retry_budget=None, tunable: bool = False, tuner=None):
     """Coroutine: one-call client setup; returns the generated stub.
 
     The stub's methods are coroutines: ``yield from stub.Method(...)``.
@@ -512,13 +541,17 @@ def hatrpc_connect(node, remote_node, gen_module, service_name: str,
     calls (drive them via ``stub._hatrpc.async_caller()``); the server must
     be started with the same flag or the same plan.  ``trace_attrs`` are
     stamped onto every call's trace (a shard router passes its shard id so
-    hint_select stages attribute per shard).
+    hint_select stages attribute per shard).  ``tunable=True`` provisions
+    the online tuner's alternate channels (server must match); ``tuner``
+    attaches a (shareable) :class:`~repro.core.tuner.HintTuner` and
+    implies ``tunable``.
     """
     client = HatRpcClient(node, gen_module, service_name, base_service_id,
                           protocol_factory, concurrency, plan,
                           deadline=deadline, retry_policy=retry_policy,
                           idempotent=idempotent, rng=rng, pipeline=pipeline,
-                          trace_attrs=trace_attrs, retry_budget=retry_budget)
+                          trace_attrs=trace_attrs, retry_budget=retry_budget,
+                          tunable=tunable, tuner=tuner)
     stub = yield from client.connect(remote_node)
     stub._hatrpc = client
     return stub

@@ -20,14 +20,17 @@ backed by the characterization results (Figs. 4-5, reproduced by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import List, Tuple
 
 from repro.core.hints import ResolvedHints
 from repro.sim.units import KiB
 from repro.verbs.cq import PollMode
 
 __all__ = ["FULL_SUB_THRESHOLD", "ProtocolChoice", "SMALL_MESSAGE_THRESHOLD",
-           "UNDER_SUB_THRESHOLD", "select_protocol", "subscription_regime"]
+           "TUNER_CONCURRENCY_GRID", "TUNER_PAYLOAD_GRID",
+           "UNDER_SUB_THRESHOLD", "candidate_choices", "select_protocol",
+           "subscription_regime"]
 
 #: small/large payload boundary: the Hybrid-EagerRNDV threshold (S4.3).
 SMALL_MESSAGE_THRESHOLD = 4 * KiB
@@ -116,3 +119,39 @@ def select_protocol(hints: ResolvedHints) -> ProtocolChoice:
         poll = PollMode.BUSY if hints.polling == "busy" else PollMode.EVENT
         why += f"; explicit polling={hints.polling} override"
     return ProtocolChoice("rdma", proto, poll, why)
+
+
+# -- candidate enumeration for the online tuner ------------------------------
+#
+# One representative per payload regime the selection algorithm
+# distinguishes (inline-able, eager-able, past the RFP crossover, bulk)
+# and per subscription regime.  The grid is what bounds a tunable plan:
+# every choice the tuner could ever re-resolve to is reachable from it,
+# so both peers can provision the alternate channels at plan time -- the
+# plan-exchange stays a deterministic derivation, never a negotiation.
+
+TUNER_PAYLOAD_GRID: Tuple[int, ...] = (
+    256, SMALL_MESSAGE_THRESHOLD, RFP_SWITCH_THRESHOLD + KiB, 128 * KiB)
+TUNER_CONCURRENCY_GRID: Tuple[int, ...] = (
+    1, UNDER_SUB_THRESHOLD + 1, FULL_SUB_THRESHOLD + 1)
+
+
+def candidate_choices(hints: ResolvedHints) -> List[ProtocolChoice]:
+    """Every distinct choice reachable from ``hints`` as the observed
+    payload size and concurrency range over the tuning grid.
+
+    Declared hints that pin a dimension (an explicit ``polling`` override,
+    ``transport = tcp``) naturally collapse the candidate set -- the tuner
+    never overrides an author's explicit knob, only the derived ones.
+    """
+    out: List[ProtocolChoice] = []
+    seen = set()
+    for conc in TUNER_CONCURRENCY_GRID:
+        for payload in TUNER_PAYLOAD_GRID:
+            choice = select_protocol(replace(hints, payload_size=payload,
+                                             concurrency=conc))
+            key = (choice.transport, choice.protocol, choice.poll_mode)
+            if key not in seen:
+                seen.add(key)
+                out.append(choice)
+    return out

@@ -17,7 +17,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 __all__ = ["CallSpan", "FaultCounters", "FunctionSummary", "Tracer",
-           "attach_tracer"]
+           "TunerDecision", "attach_tracer"]
 
 
 @dataclass
@@ -51,6 +51,31 @@ class FaultCounters:
                 "blind_retries_prevented={blind_retries_prevented} "
                 "channel_failures={channel_failures}"
                 .format(**self.as_dict()))
+
+
+@dataclass(frozen=True)
+class TunerDecision:
+    """One online-tuner re-plan: the replayable record of a switch/revert.
+
+    The tuner appends one per acted-on decision (holds are counted, not
+    recorded) and mirrors it into the engine's fault trace / distributed
+    trace as a ``tuner_switch`` / ``tuner_revert`` event, so a converged
+    run's decision sequence is as inspectable as its fault sequence.
+    """
+
+    time: float                 # sim time of the decision
+    function: str
+    kind: str                   # 'switch' | 'revert'
+    from_choice: str            # 'protocol/poll' labels
+    to_choice: str
+    channel: int                # target ChannelPlan.index
+    epoch: int                  # plan epoch AFTER the decision
+    reason: str
+
+    def label(self) -> str:
+        return (f"[{self.kind}] {self.function}: {self.from_choice} -> "
+                f"{self.to_choice} (ch{self.channel}, epoch {self.epoch}; "
+                f"{self.reason})")
 
 
 @dataclass(frozen=True)

@@ -16,14 +16,17 @@ the trace's client root span; server stage spans join through the shared
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (Any, Deque, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from repro.sim.units import KiB
 
 __all__ = [
     "HintKey",
     "StageStats",
+    "WindowedAttribution",
     "attribution_table",
     "hint_attribution",
     "payload_class",
@@ -126,6 +129,87 @@ def hint_attribution(spans: Iterable[Any]
             total=sum(vals),
         )
     return out
+
+
+class WindowedAttribution:
+    """Incremental, ring-buffered stage stats -- the live feed behind the
+    online tuner.
+
+    :func:`hint_attribution` is batch: it wants every committed span at
+    once, which an online consumer cannot afford.  This class accepts one
+    sample at a time (``observe(key, stage, value)``), keeps only the most
+    recent ``window`` samples per (key, stage), and serves exact
+    :class:`StageStats` over that window on demand.  Keys are free-form
+    hashables -- the tuner keys by ``(function, payload_class, choice)``;
+    :meth:`ingest_spans` bridges from the batch world using the same
+    :class:`HintKey` grouping as :func:`hint_attribution`.
+
+    Windowing is the point, not a memory bound: a tuner must weigh *recent*
+    behavior, and a long-gone phase polluting the percentiles would stall
+    every future decision.
+    """
+
+    def __init__(self, window: int = 128):
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        self.window = window
+        self._samples: Dict[Tuple[Any, str], Deque[float]] = {}
+
+    def observe(self, key: Any, stage: str, value: float) -> None:
+        dq = self._samples.get((key, stage))
+        if dq is None:
+            dq = deque(maxlen=self.window)
+            self._samples[(key, stage)] = dq
+        dq.append(value)
+
+    def count(self, key: Any, stage: str) -> int:
+        dq = self._samples.get((key, stage))
+        return len(dq) if dq is not None else 0
+
+    def stats(self, key: Any, stage: str) -> Optional[StageStats]:
+        """Exact stats over the current window, or None if no samples."""
+        dq = self._samples.get((key, stage))
+        if not dq:
+            return None
+        vals = sorted(dq)
+        return StageStats(
+            count=len(vals),
+            p50=_percentile(vals, 50),
+            p95=_percentile(vals, 95),
+            mean=sum(vals) / len(vals),
+            total=sum(vals),
+        )
+
+    def snapshot(self) -> Dict[Any, Dict[str, StageStats]]:
+        """{key: {stage: StageStats}} over every live window."""
+        out: Dict[Any, Dict[str, StageStats]] = {}
+        for (key, stage) in self._samples:
+            st = self.stats(key, stage)
+            if st is not None:
+                out.setdefault(key, {})[stage] = st
+        return out
+
+    def ingest_spans(self, spans: Iterable[Any]) -> int:
+        """Feed committed trace spans through the same grouping as
+        :func:`hint_attribution`; returns the number of samples taken."""
+        spans = list(spans)
+        roots_by_trace: Dict[str, Any] = {}
+        for s in spans:
+            if s.kind == "client" and not s.parent_span_id:
+                roots_by_trace.setdefault(s.trace_id, s)
+        n = 0
+        for s in spans:
+            if s.kind != "stage":
+                continue
+            root = roots_by_trace.get(s.trace_id)
+            if root is None:
+                continue
+            self.observe(_key_from_root(root), s.name, s.end - s.start)
+            n += 1
+        return n
+
+    def clear(self) -> None:
+        self._samples.clear()
 
 
 # Stable presentation order for the stage taxonomy; anything else

@@ -90,13 +90,68 @@ def test_config_change_skips_comparison(tmp_path, capsys):
     assert "config changed" in capsys.readouterr().out
 
 
-def test_missing_record_warns_but_passes(tmp_path, capsys):
+def test_missing_record_fails_the_gate(tmp_path, capsys):
+    # A benchmark that silently stops running is a regression: the gate
+    # must fail, not shrug (this used to warn-and-pass).
     extra = [BenchRecord(figure="fig05", name="tput", scale="small",
                          metrics={"m": metric(1.0)})]
     base = bench_file(tmp_path, "base.json", extra=extra)
     cur = bench_file(tmp_path, "cur.json")
-    assert cbr.main([base, cur]) == 0
-    assert "missing from current run" in capsys.readouterr().out
+    assert cbr.main([base, cur]) == 1
+    out = capsys.readouterr().out
+    assert "MISSING" in out and "missing from current run" in out
+    assert "FAIL" in out
+
+
+def test_missing_metric_fails_the_gate(tmp_path, capsys):
+    base = bench_file(tmp_path, "base.json")
+    cur_path = tmp_path / "cur.json"
+    recs = [BenchRecord(
+        figure="fig04", name="latency", scale="small",
+        config={"sizes": [64]},
+        metrics={"lat_us.busy.64": metric(10.0, "us", "lower")})]
+    write_bench(recs, str(cur_path))                 # tput_kops.64 vanished
+    assert cbr.main([base, str(cur_path)]) == 1
+    assert "metric tput_kops.64 missing" in capsys.readouterr().out
+
+
+def test_allow_missing_downgrades_to_warning(tmp_path, capsys):
+    extra = [BenchRecord(figure="fig05", name="tput", scale="small",
+                         metrics={"m": metric(1.0)})]
+    base = bench_file(tmp_path, "base.json", extra=extra)
+    cur = bench_file(tmp_path, "cur.json")
+    assert cbr.main([base, cur, "--allow-missing"]) == 0
+    out = capsys.readouterr().out
+    assert "WARNING" in out and "PASS" in out
+
+
+def test_summary_markdown_worst_offenders_first(tmp_path):
+    extra = [BenchRecord(figure="fig05", name="tput", scale="small",
+                         metrics={"m": metric(1.0)})]
+    base = bench_file(tmp_path, "base.json", lat=10.0, tput=100.0,
+                      extra=extra)
+    # lat +100% (worst), tput -15% (second), and one missing record.
+    cur = bench_file(tmp_path, "cur.json", lat=20.0, tput=85.0)
+    summary = tmp_path / "summary.md"
+    assert cbr.main([base, cur, "--summary", str(summary)]) == 1
+    text = summary.read_text()
+    assert "FAIL" in text and "2 regressed" in text and "1 missing" in text
+    body = [ln for ln in text.splitlines() if ln.startswith("|")]
+    order = [ln.split("|")[3].strip() for ln in body[2:]]  # metric column
+    assert order[0] == "lat_us.busy.64"                    # worst first
+    assert order[1] == "tput_kops.64"
+    assert "missing from current run" in order[2]
+
+
+def test_summary_appends_and_reports_pass(tmp_path):
+    base = bench_file(tmp_path, "base.json")
+    cur = bench_file(tmp_path, "cur.json")
+    summary = tmp_path / "summary.md"
+    summary.write_text("# earlier step\n")
+    assert cbr.main([base, cur, "--summary", str(summary)]) == 0
+    text = summary.read_text()
+    assert text.startswith("# earlier step")       # appended, not clobbered
+    assert "PASS" in text
 
 
 def test_missing_file_is_usage_error(tmp_path):

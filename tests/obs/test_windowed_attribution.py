@@ -1,0 +1,79 @@
+"""WindowedAttribution: the ring-buffered live feed behind the tuner."""
+
+import pytest
+
+from repro.obs.attribution import HintKey, WindowedAttribution
+from repro.obs.trace import Span
+
+
+def test_stats_over_exact_window():
+    w = WindowedAttribution(window=8)
+    for v in (1.0, 2.0, 3.0, 4.0):
+        w.observe("k", "call", v)
+    st = w.stats("k", "call")
+    assert st.count == 4
+    assert st.p50 == 2.0
+    assert st.p95 == 4.0
+    assert st.mean == pytest.approx(2.5)
+    assert st.total == pytest.approx(10.0)
+
+
+def test_window_evicts_oldest_samples():
+    w = WindowedAttribution(window=4)
+    for v in range(100):
+        w.observe("k", "call", float(v))
+    st = w.stats("k", "call")
+    assert st.count == 4
+    assert st.p50 == 97.0            # only 96..99 remain
+    assert w.count("k", "call") == 4
+
+
+def test_keys_and_stages_are_independent():
+    w = WindowedAttribution()
+    w.observe(("fn", "<=256B"), "call", 1.0)
+    w.observe(("fn", ">64KiB"), "call", 9.0)
+    w.observe(("fn", "<=256B"), "poll", 5.0)
+    assert w.stats(("fn", "<=256B"), "call").p50 == 1.0
+    assert w.stats(("fn", ">64KiB"), "call").p50 == 9.0
+    assert w.stats(("fn", "<=256B"), "poll").p50 == 5.0
+    assert w.stats(("fn", "<=256B"), "network") is None
+    assert w.count("missing", "call") == 0
+
+
+def test_snapshot_and_clear():
+    w = WindowedAttribution()
+    w.observe("a", "call", 1.0)
+    w.observe("b", "call", 2.0)
+    snap = w.snapshot()
+    assert set(snap) == {"a", "b"}
+    assert snap["a"]["call"].count == 1
+    w.clear()
+    assert w.snapshot() == {}
+    assert w.stats("a", "call") is None
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError):
+        WindowedAttribution(window=0)
+
+
+def _span(trace_id, span_id, parent, name, kind, start, end, **attrs):
+    return Span(trace_id=trace_id, span_id=span_id, parent_span_id=parent,
+                name=name, kind=kind, node="n", start=start, end=end,
+                attrs=attrs)
+
+
+def test_ingest_spans_matches_batch_grouping():
+    spans = [
+        _span("t1", "r1", "", "Ping", "client", 0.0, 3e-6,
+              perf_goal="latency", req_bytes=64, concurrency=4,
+              protocol="direct_writeimm"),
+        _span("t1", "s1", "r1", "post", "stage", 0.0, 2e-6),
+        _span("t2", "s2", "", "orphan-stage", "stage", 0.0, 1e-6),
+    ]
+    w = WindowedAttribution()
+    n = w.ingest_spans(spans)
+    assert n == 1                     # the orphan has no root to join
+    key = HintKey(perf_goal="latency", payload="<=256B", concurrency=4,
+                  protocol="direct_writeimm")
+    assert w.stats(key, "post").p50 == pytest.approx(2e-6)
