@@ -13,6 +13,10 @@ checks the three graceful-degradation guarantees:
 * shedding follows the ``priority`` IDL hint: low-priority traffic is
   shed strictly before high-priority, whose goodput stays within 10% of
   its uncontended level.
+
+Every sweep point runs on the phased harness: goodput is the class's
+MEASUREMENT-window throughput (ops attributed to the phase they started
+in), and each phase is emitted as an ``overloadph`` BenchRecord.
 """
 
 import random
@@ -21,12 +25,13 @@ from dataclasses import replace
 import pytest
 
 from benchmarks.figutil import emit_bench, fmt_rows, is_full, kops
-from repro.bench import metric
+from repro.bench import Phase, PhasedRun, metric
 from repro.core.mux import MuxPool
 from repro.core.overload import AdmissionConfig
 from repro.core.resilience import RetryBudget, RetryPolicy
 from repro.core.runtime import HatRpcServer, service_plan_of
 from repro.idl import load_idl
+from repro.sim.core import AllOf
 from repro.sim.units import ms, us
 from repro.testbed import Testbed
 from repro.thrift.errors import TRejectedException, TTransportException
@@ -48,6 +53,7 @@ LOW_SWEEP = [16, 32, 64, 128, 256, 512] if is_full() else [16, 64, 256]
 POOL_SIZE = 4                    # wire connections per (node, service) pool
 WARMUP = 2 * ms
 MEASURE = 10 * ms
+COOLDOWN = 0.5 * ms
 CORES = 28                       # NodeSpec default, for the oversub claim
 
 _COUNTER = [0]
@@ -96,6 +102,8 @@ def _run_point(n_low, n_high=HIGH_CLIENTS):
                           admission=gate_cfg, srq=True, srq_slots=512)
     server.start()
 
+    run = PhasedRun(tb.sim, name=f"overload.low{n_low}", warmup=WARMUP,
+                    measurement=MEASURE, cooldown=COOLDOWN)
     client_nodes = [1, 2, 3]
     pools = []
     engines = []
@@ -111,46 +119,59 @@ def _run_point(n_low, n_high=HIGH_CLIENTS):
         pools.append(pool)
         return pool
 
-    done = {"high": 0, "low": 0, "rejected": 0}
-    t_end = [0.0]
+    procs = []
 
     def logical(pool, fn, cls):
         lease = pool.lease()
-        while tb.sim.now < t_end[0]:
+        while not run.stopped:
+            t0 = tb.sim.now
             try:
                 yield from lease.call(fn, "k")
-                if tb.sim.now <= t_end[0] and tb.sim.now >= t_end[0] - MEASURE:
-                    done[cls] += 1
+                run.record(cls, tb.sim.now - t0, start=t0)
             except TRejectedException as exc:
-                done["rejected"] += 1
                 # honor the advice before offering the request again
                 yield tb.sim.timeout(max(exc.retry_after, 100 * us))
         lease.release()
 
-    def run():
+    def prepare():
         low_pools = [make_pool(n, 10 + n) for n in client_nodes]
         high_pool = make_pool(1, 99)
         for pool in pools:
             yield from pool.connect(tb.node(0))
         engines.extend(e for pool in pools for e in pool.engines)
-        t_end[0] = tb.sim.now + WARMUP + MEASURE
-        procs = [tb.sim.process(logical(high_pool, "HighOp", "high"))
-                 for _ in range(n_high)]
-        procs += [tb.sim.process(logical(low_pools[i % 3], "LowOp", "low"))
-                  for i in range(n_low)]
-        for p in procs:
-            yield p
+        procs.extend(tb.sim.process(logical(high_pool, "HighOp", "high"))
+                     for _ in range(n_high))
+        procs.extend(tb.sim.process(logical(low_pools[i % 3], "LowOp", "low"))
+                     for i in range(n_low))
 
-    tb.sim.run(tb.sim.process(run()))
+    driver = tb.sim.process(run.drive(prepare=prepare()))
+    tb.sim.run(until=driver)
+    if procs:
+        tb.sim.run(until=AllOf(tb.sim, procs))
+    for p in procs:
+        p.value  # surface any client failure instead of undercounting
+    run.stop()
+    tb.sim.run()
+    run.emit_phase_records("overloadph",
+                           config={"n_low": n_low, "n_high": n_high,
+                                   "capacity": CAPACITY})
+
+    meas = run.stats[Phase.MEASUREMENT]
+    duration = run.window(Phase.MEASUREMENT).duration
+
+    def goodput(cls):
+        st = meas.get(cls)
+        return (st.count if st is not None else 0) / duration
+
     gate = server.gate
     faults = {"timeouts": sum(e.faults.timeouts for e in engines),
               "rejections": sum(e.faults.rejections for e in engines),
               "budget_exhausted": sum(e.faults.budget_exhausted
                                       for e in engines)}
     return {
-        "high_goodput": done["high"] / MEASURE,
-        "low_goodput": done["low"] / MEASURE,
-        "total_goodput": (done["high"] + done["low"]) / MEASURE,
+        "high_goodput": goodput("high"),
+        "low_goodput": goodput("low"),
+        "total_goodput": goodput("high") + goodput("low"),
         "faults": faults,
         "shed": dict(gate.shed_by_priority),
         "gate_high_water": gate.high_water,

@@ -11,19 +11,27 @@ Headline gates: 2 shards >= 1.7x the single-shard aggregate, and 4 shards
 monotonically above 2.  The gap to the ideal 2x is real fan-out cost:
 every MultiGET batch now splits into per-shard sub-RPCs, each paying its
 own wire and NIC-engine overhead.
+
+Each shard count runs on the phased harness; the scaling gates compare
+MEASUREMENT-window throughput only (start-time attribution), and every
+phase lands as its own ``shardingph`` BenchRecord.
 """
 
 import pytest
 
 from benchmarks.figutil import emit_bench, fmt_rows, is_full, kops, \
     tput_metric
+from repro.bench import PhasedRun
 from repro.hatkv import ShardedKVCluster
+from repro.sim.units import us
 from repro.testbed import Testbed
-from repro.ycsb import WORKLOAD_B, run_ycsb
+from repro.ycsb import WORKLOAD_B, measurement_result, run_ycsb_phased
 
 SHARDS = [1, 2, 4]
 N_CLIENTS = 144 if is_full() else 96
-OPS = 40
+WARMUP = 250 * us
+MEASURE = 1200 * us if is_full() else 800 * us
+COOLDOWN = 100 * us
 # Chosen for even zipfian-mass splits (51/49 at 2 shards, max 28% of the
 # draw on any shard at 4); see the module docstring.
 VNODES = 256
@@ -36,10 +44,13 @@ def _run():
         tb = Testbed(n_nodes=shards + 9)
         cluster = ShardedKVCluster(tb, shards, concurrency=N_CLIENTS,
                                    vnodes=VNODES, ring_seed=RING_SEED).start()
-        out[shards] = run_ycsb(cluster, cluster.connect, WORKLOAD_B,
-                               testbed=tb, n_clients=N_CLIENTS,
-                               ops_per_client=OPS, warmup_per_client=5,
-                               n_client_nodes=8)
+        run = PhasedRun(tb.sim, name=f"ycsb_b.{shards}shard", warmup=WARMUP,
+                        measurement=MEASURE, cooldown=COOLDOWN)
+        run_ycsb_phased(cluster, cluster.connect, WORKLOAD_B, testbed=tb,
+                        run=run, n_clients=N_CLIENTS, n_client_nodes=8)
+        run.emit_phase_records("shardingph", config={"shards": shards,
+                                                     "n_clients": N_CLIENTS})
+        out[shards] = measurement_result(run)
     return out
 
 
@@ -47,7 +58,7 @@ def test_sharding_ycsb_b_scaling(benchmark):
     res = benchmark.pedantic(_run, rounds=1, iterations=1)
     base = res[SHARDS[0]].throughput_ops
     fmt_rows(f"Sharded HatKV: YCSB-B aggregate throughput ({N_CLIENTS} "
-             "clients)",
+             f"clients, {MEASURE / us:.0f}us measured window)",
              ["shards", "throughput", "scaling"],
              [[s, kops(res[s].throughput_ops),
                f"x{res[s].throughput_ops / base:.2f}"] for s in SHARDS])
@@ -57,8 +68,8 @@ def test_sharding_ycsb_b_scaling(benchmark):
                {f"tput_kops.{s}shard": tput_metric(res[s].throughput_ops)
                 for s in SHARDS},
                config={"shards": SHARDS, "n_clients": N_CLIENTS,
-                       "ops_per_client": OPS, "vnodes": VNODES,
-                       "ring_seed": RING_SEED})
+                       "warmup_us": WARMUP / us, "measure_us": MEASURE / us,
+                       "vnodes": VNODES, "ring_seed": RING_SEED})
 
     tput = {s: res[s].throughput_ops for s in SHARDS}
     assert tput[2] >= 1.7 * tput[1], (

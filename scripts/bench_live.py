@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Live phase/SLO view of a phased benchmark's JSONL metric stream.
+
+    python scripts/bench_live.py STREAM.jsonl                # one snapshot
+    python scripts/bench_live.py STREAM.jsonl --follow       # tail the run
+    python scripts/bench_live.py STREAM.jsonl --watch bench.ops.rate \\
+        --watch bench.op_latency.get.p99
+
+The stream is the JSONL file a :class:`repro.obs.timeseries.MetricsSampler`
+writes (e.g. ``benchmarks/test_phased_ycsb.py`` with ``REPRO_STREAM_OUT``
+set).  The view shows the current phase, a sparkline per watched series,
+annotation counts (tuner decisions, admission shed waves, storms), and the
+SLO verdicts -- all derived from the file alone, so it works while the
+benchmark process is still writing (the reader skips a partial final line)
+or long after it exited.
+
+``--follow`` re-reads the file every ``--interval`` wall seconds and
+redraws until the run's ``done`` phase event lands (or Ctrl-C).
+
+Exit codes: 0 ok, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.timeseries import read_stream, summarize_stream  # noqa: E402
+
+DEFAULT_WATCH = ["bench.ops.rate", "bench.op_latency.get.p99",
+                 "admission.rejected.rate"]
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+_US = 1e-6
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Unicode block sparkline of the last ``width`` values."""
+    tail = list(values)[-width:]
+    if not tail:
+        return ""
+    lo, hi = min(tail), max(tail)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[1] * len(tail)
+    out = []
+    for v in tail:
+        idx = 1 + int((v - lo) / span * (len(_BLOCKS) - 2))
+        out.append(_BLOCKS[min(idx, len(_BLOCKS) - 1)])
+    return "".join(out)
+
+
+def _fmt_value(name: str, value: float) -> str:
+    # Latency-flavoured series read better in microseconds.
+    if ".p5" in name or ".p9" in name or "latency" in name or \
+            name.endswith(".mean"):
+        return f"{value / _US:.1f}us"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.3g}"
+
+
+def render_view(digest: Dict[str, Any], watch: Sequence[str],
+                width: int = 40) -> str:
+    """One text frame of the live view (pure function of the digest)."""
+    lines: List[str] = []
+    phase = digest["phase"] or "?"
+    lines.append(f"t={digest['t_end'] / _US:>9.1f}us   phase={phase:<12} "
+                 f"samples={digest['n_samples']}")
+    if digest["phases"]:
+        trail = " > ".join(p for _, p in digest["phases"])
+        lines.append(f"phases: {trail}")
+    lines.append("")
+    for name in watch:
+        st = digest["series"].get(name)
+        if st is None:
+            lines.append(f"  {name:<34} (no data)")
+            continue
+        lines.append(f"  {name:<34} {_fmt_value(name, st['last']):>10}  "
+                     f"{sparkline(st['values'], width)}")
+    kinds: Dict[str, int] = {}
+    for e in digest["events"]:
+        if e.get("kind") != "phase":
+            kinds[e["kind"]] = kinds.get(e["kind"], 0) + 1
+    if kinds:
+        lines.append("")
+        lines.append("events: " + "  ".join(
+            f"{k}x{kinds[k]}" for k in sorted(kinds)))
+    lines.append("")
+    if digest["slo"]:
+        for name in sorted(digest["slo"]):
+            st = digest["slo"][name]
+            verdict = "FAIL" if st["violations"] else "PASS"
+            detail = ""
+            if st["last"] is not None:
+                v = st["last"]
+                detail = (f"  last {v.get('kind', '?')} at "
+                          f"{float(v.get('t', 0)) / _US:.1f}us "
+                          f"({v.get('metric')} vs {v.get('threshold')})")
+            lines.append(f"SLO {name:<28} {verdict}"
+                         f"  ({st['violations']} violation(s)){detail}")
+    else:
+        lines.append("SLO: none declared")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("stream", metavar="STREAM.jsonl",
+                    help="MetricsSampler JSONL stream to tail")
+    ap.add_argument("--follow", "-f", action="store_true",
+                    help="keep re-reading until the run's 'done' event")
+    ap.add_argument("--interval", type=float, default=0.5,
+                    help="wall seconds between re-reads (default: "
+                         "%(default)s)")
+    ap.add_argument("--watch", action="append", metavar="SERIES",
+                    help="series to sparkline (repeatable; default: "
+                         + ", ".join(DEFAULT_WATCH) + ")")
+    ap.add_argument("--width", type=int, default=40,
+                    help="sparkline width (default: %(default)s)")
+    args = ap.parse_args(argv)
+    watch = args.watch or DEFAULT_WATCH
+
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    while True:
+        try:
+            records = read_stream(args.stream)
+        except OSError as exc:
+            if not args.follow:
+                print(f"error: cannot read {args.stream}: {exc}",
+                      file=sys.stderr)
+                return 2
+            records = []                       # not written yet: keep waiting
+        digest = summarize_stream(records)
+        frame = render_view(digest, watch, width=args.width)
+        if clear:
+            print(clear + frame, flush=True)
+        else:
+            print(frame + "\n" + "-" * 72, flush=True)
+        if not args.follow or digest["phase"] == "done":
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:              # e.g. piped into `head`
+        sys.exit(0)

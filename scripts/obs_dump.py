@@ -3,6 +3,7 @@
 
     python scripts/obs_dump.py TRACE.json
     python scripts/obs_dump.py TRACE.json --metrics METRICS.prom --max-traces 5
+    python scripts/obs_dump.py --series STREAM.jsonl
 
 ``TRACE.json`` is the Chrome ``trace_event`` file written by
 ``obs.export_chrome_trace(..., collector=...)`` (e.g. by
@@ -13,6 +14,11 @@ their server-side children -- are reconstructed from the file alone.
 ``--metrics FILE`` additionally prints a Prometheus text-format metrics
 file (written by ``obs.promtext_render``) verbatim, so one invocation shows
 both pillars of a run's observability output.
+
+``--series STREAM.jsonl`` switches to the time-series view: the file is a
+``MetricsSampler`` JSONL stream, and the dump shows every sampled series
+(count / min / mean / max / last), the phase timeline, annotation events,
+and SLO verdicts.  A trace file is not required in this mode.
 
 Exit codes: 0 ok, 2 usage/IO error.
 """
@@ -27,18 +33,80 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.obs.attribution import attribution_table, spans_from_chrome  # noqa: E402
+from repro.obs.timeseries import read_stream, summarize_stream  # noqa: E402
 from repro.obs.trace import format_trace  # noqa: E402
+
+
+def _dump_series(path: str) -> int:
+    try:
+        records = read_stream(path)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    digest = summarize_stream(records)
+    us = 1e-6
+    print(f"{path}: {digest['n_samples']} samples, "
+          f"{len(digest['series'])} series, "
+          f"{len(digest['events'])} events, "
+          f"t_end={digest['t_end'] / us:.1f}us")
+
+    if digest["phases"]:
+        print("\nphases:")
+        for t, phase in digest["phases"]:
+            print(f"  {t / us:>12.1f}us  {phase}")
+
+    print("\nseries (value stats over the sampled window):")
+    header = f"  {'name':<44} {'n':>5} {'min':>12} {'mean':>12} " \
+             f"{'max':>12} {'last':>12}"
+    print(header)
+    for name in sorted(digest["series"]):
+        st = digest["series"][name]
+        print(f"  {name:<44} {st['n']:>5} {st['min']:>12.4g} "
+              f"{st['mean']:>12.4g} {st['max']:>12.4g} {st['last']:>12.4g}")
+
+    annotations = [e for e in digest["events"]
+                   if e.get("kind") not in ("phase",)]
+    if annotations:
+        print("\nevents:")
+        kinds: dict = {}
+        for e in annotations:
+            kinds[e["kind"]] = kinds.get(e["kind"], 0) + 1
+        for kind in sorted(kinds):
+            print(f"  {kind:<32} x{kinds[kind]}")
+
+    if digest["slo"]:
+        print("\nSLO verdicts:")
+        for name in sorted(digest["slo"]):
+            st = digest["slo"][name]
+            verdict = "FAIL" if st["violations"] else "PASS"
+            print(f"  {name:<32} {verdict}  "
+                  f"({st['violations']} violation(s), "
+                  f"{st['recovered']} recovered)")
+    else:
+        print("\nSLO verdicts: none recorded")
+    return 0
 
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("trace", metavar="TRACE.json",
+    ap.add_argument("trace", metavar="TRACE.json", nargs="?", default=None,
                     help="Chrome trace_event JSON with embedded span ids")
     ap.add_argument("--metrics", metavar="FILE", default=None,
                     help="also print this Prometheus text metrics file")
+    ap.add_argument("--series", metavar="STREAM.jsonl", default=None,
+                    help="print sampled time series + SLO verdicts from a "
+                         "MetricsSampler JSONL stream")
     ap.add_argument("--max-traces", type=int, default=10,
                     help="max trace trees to render (default: %(default)s)")
     args = ap.parse_args(argv)
+
+    if args.series is not None:
+        rc = _dump_series(args.series)
+        if rc != 0 or args.trace is None:
+            return rc
+        print()
+    elif args.trace is None:
+        ap.error("a TRACE.json argument or --series STREAM.jsonl is required")
 
     try:
         with open(args.trace) as f:
@@ -86,4 +154,7 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:              # e.g. piped into `head`
+        sys.exit(0)

@@ -1,6 +1,14 @@
 """Measurement harness shared by tests and the paper-figure benchmarks."""
 
 from repro.bench.stats import LatencyStats, percentile
+from repro.bench.harness import (
+    Phase,
+    PhasedRun,
+    PhaseWindow,
+    Scenario,
+    ScenarioMatrix,
+    StormSpec,
+)
 from repro.bench.proto_runner import (
     BenchResult,
     ProtoBenchSpec,
@@ -22,8 +30,14 @@ __all__ = [
     "BenchResult",
     "BenchSink",
     "LatencyStats",
+    "Phase",
+    "PhaseWindow",
+    "PhasedRun",
     "ProtoBenchSpec",
     "SINK",
+    "Scenario",
+    "ScenarioMatrix",
+    "StormSpec",
     "config_hash",
     "default_bench_path",
     "load_bench",

@@ -124,6 +124,9 @@ class AdmissionGate:
         self.admitted = 0
         self.rejected = 0
         self.shed_by_priority = {"low": 0, "normal": 0, "high": 0}
+        #: observers called with the new mark each time ``high_water``
+        #: advances (the phased bench harness annotates these live)
+        self.on_high_water: list = []
         reg = obs.current()
         if reg is not None:
             self._m_occupancy = reg.gauge("admission.occupancy")
@@ -152,7 +155,10 @@ class AdmissionGate:
             return self.cfg.retry_after_base * (1.0 + occupancy)
         self.inflight += 1
         self.admitted += 1
-        self.high_water = max(self.high_water, self.inflight)
+        if self.inflight > self.high_water:
+            self.high_water = self.inflight
+            for hook in self.on_high_water:
+                hook(self.high_water)
         if self._m_occupancy is not None:
             self._m_occupancy.set(self.inflight)
             self._m_admitted.inc()

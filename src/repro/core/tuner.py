@@ -138,6 +138,9 @@ class HintTuner:
         #: monotonically increasing plan epoch; rides on the wire
         self.epoch = 0
         self.decisions: List[TunerDecision] = []
+        #: observers called with each TunerDecision as it lands (the phased
+        #: bench harness annotates epoch switches into its live stream)
+        self.on_decision: List[Any] = []
         self.switches = 0
         self.reverts = 0
         self.holds = 0
@@ -357,6 +360,8 @@ class HintTuner:
             to_choice=_choice_label(choice.protocol, choice.poll_mode),
             channel=idx, epoch=self.epoch, reason=reason)
         self.decisions.append(decision)
+        for hook in self.on_decision:
+            hook(decision)
         for engine in self._engines:
             engine._trace(f"tuner_{kind}", fn, idx,
                           f"{decision.from_choice}->{decision.to_choice} "

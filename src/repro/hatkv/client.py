@@ -25,7 +25,8 @@ def connect_hatkv(node, server_node, gen_module,
                   base_service_id: int = BASE_SID,
                   deadline: Optional[float] = None,
                   retry_policy=None, rng=None,
-                  pipeline: bool = False, trace_attrs=None):
+                  pipeline: bool = False, trace_attrs=None,
+                  tunable: bool = False, tuner=None):
     """Coroutine: a connected KVService stub.
 
     All stub methods are coroutines: ``value = yield from stub.Get(key)``.
@@ -42,7 +43,8 @@ def connect_hatkv(node, server_node, gen_module,
                                      retry_policy=retry_policy,
                                      idempotent=IDEMPOTENT_FUNCTIONS,
                                      rng=rng, pipeline=pipeline,
-                                     trace_attrs=trace_attrs)
+                                     trace_attrs=trace_attrs,
+                                     tunable=tunable, tuner=tuner)
     return stub
 
 

@@ -118,7 +118,8 @@ class HatKVServer:
                  shard: Optional[int] = None,
                  admission=None,
                  srq: bool = False,
-                 srq_slots: Optional[int] = None):
+                 srq_slots: Optional[int] = None,
+                 tunable: bool = False):
         self.node = node
         self.gen = gen_module
         self.shard = shard
@@ -145,7 +146,8 @@ class HatKVServer:
                                 base_service_id=base_service_id,
                                 concurrency=concurrency, plan=plan,
                                 pipeline=pipeline, admission=admission,
-                                srq=srq, srq_slots=srq_slots)
+                                srq=srq, srq_slots=srq_slots,
+                                tunable=tunable)
 
     def start(self) -> "HatKVServer":
         self.rpc.start()

@@ -105,6 +105,17 @@ class ShardedKVCluster:
                                     base_service_id=BASE_SID,
                                     pipeline=pipeline, **server_kw)
                         for i, node in enumerate(nodes)]
+        reg = obs.current()
+        if reg is not None:
+            # Live key balance as a pull probe: unlike the load-time
+            # ``hatkv.router.keys.shard<i>`` gauges this is re-read at
+            # every sampler tick, so inserts show up in the stream as
+            # they land rather than at the next bulk load.
+            reg.probe("hatkv.keys", self._key_balance)
+
+    def _key_balance(self) -> dict:
+        return {f"shard{i}": float(s.backend.env.stat().entries)
+                for i, s in enumerate(self.servers)}
 
     # -- topology ------------------------------------------------------------
     @property
@@ -154,9 +165,17 @@ class ShardedKVCluster:
                 reg.gauge(f"hatkv.router.keys.shard{i}").set(n)
 
     def connect(self, node, deadline: Optional[float] = None,
-                retry_policy=None, rng=None):
+                retry_policy=None, rng=None, tunable: bool = False,
+                tuner=None):
         """Coroutine: a :class:`ShardRouter` on ``node``, with one engine
-        channel set per shard (per-shard plan, window, and breakers)."""
+        channel set per shard (per-shard plan, window, and breakers).
+
+        ``tuner`` attaches one (shareable) HintTuner to every shard
+        engine -- all shard plans are built from the same hint map, so
+        their shapes match the tuner's bind invariant.  The cluster's
+        servers must be built with ``tunable=True`` to serve the
+        alternate channels.
+        """
         stubs = []
         for i, server in enumerate(self.servers):
             stub = yield from connect_hatkv(
@@ -164,7 +183,8 @@ class ShardedKVCluster:
                 concurrency=self.concurrency,
                 base_service_id=BASE_SID,
                 deadline=deadline, retry_policy=retry_policy, rng=rng,
-                pipeline=self.pipeline, trace_attrs={"shard": i})
+                pipeline=self.pipeline, trace_attrs={"shard": i},
+                tunable=tunable, tuner=tuner)
             stubs.append(stub)
         return ShardRouter(self, node, stubs)
 

@@ -46,14 +46,22 @@ from repro.obs import trace
 from repro.obs.attribution import attribution_table, hint_attribution
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.promtext import render as promtext_render
+from repro.obs.slo import SloSpec, SloWatchdog
 from repro.obs.timeline import TimelineExporter, export_chrome_trace
+from repro.obs.timeseries import (JsonlSink, MetricsSampler, RingBuffer,
+                                  read_stream, summarize_stream)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "MetricsRegistry",
+    "MetricsSampler",
     "ObsInstallOrderWarning",
+    "RingBuffer",
+    "SloSpec",
+    "SloWatchdog",
     "TimelineExporter",
     "attribution_table",
     "current",
@@ -63,6 +71,8 @@ __all__ = [
     "installed",
     "pretty",
     "promtext_render",
+    "read_stream",
+    "summarize_stream",
     "trace",
     "uninstall",
 ]

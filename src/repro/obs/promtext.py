@@ -2,12 +2,15 @@
 
 :func:`render` turns one registry into the plain-text format a Prometheus
 scrape endpoint would serve: counters as ``counter``, gauges as ``gauge``
-(with a ``<name>_high_water`` companion gauge), histograms as ``summary``
-(quantile series + ``_sum``/``_count``), and probe groups as ``gauge``
-series labelled by key.  Dotted instrument names become underscore-joined
-metric names (``proto.eager_sendrecv.ops`` ->
+(with a ``<name>_high_water`` companion gauge), histograms as
+``histogram`` (cumulative ``_bucket{le="..."}`` series from the log
+buckets, a ``+Inf`` bucket, ``_sum`` and ``_count``), and probe groups as
+``gauge`` series labelled by key.  Dotted instrument names become
+underscore-joined metric names (``proto.eager_sendrecv.ops`` ->
 ``hatrpc_proto_eager_sendrecv_ops``) so they survive the Prometheus
-``[a-zA-Z_:][a-zA-Z0-9_:]*`` grammar.
+``[a-zA-Z_:][a-zA-Z0-9_:]*`` grammar; HELP text and label values are
+escaped per the text 0.0.4 rules (backslash, newline, and -- for labels
+-- double quote).
 
 This is a file/stdout exporter, not an HTTP server: the simulator has no
 wall-clock process to scrape, so ``scripts/obs_dump.py`` and the benchmark
@@ -25,7 +28,6 @@ __all__ = ["render"]
 
 _PREFIX = "hatrpc"
 _BAD = re.compile(r"[^a-zA-Z0-9_:]")
-_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
 
 
 def _name(dotted: str) -> str:
@@ -41,19 +43,32 @@ def _fmt(value: float) -> str:
 
 
 def _escape_label(value: str) -> str:
+    """Label-value escaping per text 0.0.4: ``\\`` -> ``\\\\``,
+    ``"`` -> ``\\"``, newline -> ``\\n`` (backslash first, so the escapes
+    themselves are not re-escaped)."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace(
         "\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    """HELP-text escaping per text 0.0.4: only ``\\`` and newline (a HELP
+    line must stay one line; quotes are legal there)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _histogram_lines(name: str, hist: Histogram) -> List[str]:
-    lines = [f"# TYPE {name} summary"]
-    summary = hist.summary()
-    for q, stat in _QUANTILES:
-        if stat in summary:
-            lines.append(
-                f'{name}{{quantile="{q}"}} {_fmt(summary[stat])}')
-    lines.append(f"{name}_sum {_fmt(summary.get('sum', 0))}")
-    lines.append(f"{name}_count {_fmt(summary['count'])}")
+    """A conformant ``histogram`` exposition: cumulative ``_bucket`` series
+    over the log-bucket upper bounds, the mandatory ``+Inf`` bucket, and
+    ``_sum``/``_count`` (which must equal the ``+Inf`` bucket)."""
+    lines = [f"# TYPE {name} histogram"]
+    cum = 0
+    for idx in sorted(hist.buckets):
+        cum += hist.buckets[idx]
+        bound = _fmt(hist.bucket_bound(idx))
+        lines.append(f'{name}_bucket{{le="{bound}"}} {cum}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+    lines.append(f"{name}_sum {_fmt(hist.total)}")
+    lines.append(f"{name}_count {hist.count}")
     return lines
 
 
@@ -64,14 +79,14 @@ def render(registry: MetricsRegistry,
     for dotted in sorted(registry.counters):
         name = _name(dotted)
         if help_text:
-            lines.append(f"# HELP {name} counter {dotted}")
+            lines.append(f"# HELP {name} counter {_escape_help(dotted)}")
         lines.append(f"# TYPE {name} counter")
         lines.append(f"{name} {_fmt(registry.counters[dotted].value)}")
     for dotted in sorted(registry.gauges):
         gauge = registry.gauges[dotted]
         name = _name(dotted)
         if help_text:
-            lines.append(f"# HELP {name} gauge {dotted}")
+            lines.append(f"# HELP {name} gauge {_escape_help(dotted)}")
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {_fmt(gauge.value)}")
         lines.append(f"# TYPE {name}_high_water gauge")
@@ -79,12 +94,12 @@ def render(registry: MetricsRegistry,
     for dotted in sorted(registry.histograms):
         name = _name(dotted)
         if help_text:
-            lines.append(f"# HELP {name} histogram {dotted}")
+            lines.append(f"# HELP {name} histogram {_escape_help(dotted)}")
         lines.extend(_histogram_lines(name, registry.histograms[dotted]))
     for group, values in sorted(registry.probe_values().items()):
         name = _name(group)
         if help_text:
-            lines.append(f"# HELP {name} probe group {group}")
+            lines.append(f"# HELP {name} probe group {_escape_help(group)}")
         lines.append(f"# TYPE {name} gauge")
         for key in sorted(values):
             lines.append(

@@ -1,0 +1,490 @@
+"""Continuous telemetry: sim-clock sampling of a MetricsRegistry.
+
+Every instrument in :class:`~repro.obs.metrics.MetricsRegistry` is a
+*cumulative* aggregate -- perfect for end-of-run snapshots, blind to
+anything that happens mid-run.  This module adds the time axis:
+
+* :class:`RingBuffer` -- a fixed-capacity overwrite-oldest buffer (the
+  storage discipline that keeps a long-running sampler allocation-bounded);
+* :class:`MetricsSampler` -- a simulator process that every ``interval``
+  simulated seconds reads the registry and appends one point per derived
+  series:
+
+  - counters become **windowed rates** (``<name>.rate``, delta/dt, with a
+    restart guard: a counter that went *backwards* is treated as reset and
+    its current value is the whole window's delta);
+  - gauges are sampled as-is (``<name>``);
+  - histograms become **per-interval distributions**: the bucket-count
+    delta between consecutive samples answers ``<name>.p50/.p95/.p99``
+    (nearest-rank over the interval's own samples -- not the lifetime
+    percentile), plus ``<name>.rate`` and ``<name>.mean``;
+  - probes are pulled fresh **every tick** (``<group>.<key>``), so
+    probe-backed values are never stale by more than one interval;
+
+* :class:`JsonlSink` -- a line-buffered JSONL stream (one JSON object per
+  sample/event) that ``scripts/bench_live.py`` can tail while the run is
+  still going, and :func:`read_stream` / :func:`summarize_stream` parse
+  back.
+
+Cost discipline: nothing here is wired into any hot path.  A run that
+never constructs a sampler pays zero -- the same opt-in contract as the
+registry itself.  Sampling is read-only bookkeeping at discrete instants:
+it inserts simulator events but consumes no simulated time, so a sampled
+run's workload timing is byte-identical to an unsampled one.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import (Any, Callable, Dict, IO, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.sim.core import Interrupt, Simulator
+
+__all__ = [
+    "JsonlSink",
+    "MetricsSampler",
+    "RingBuffer",
+    "Series",
+    "read_stream",
+    "summarize_stream",
+]
+
+
+class RingBuffer:
+    """Fixed-capacity append-only buffer; full means overwrite-oldest.
+
+    Iteration order is strictly oldest -> newest, and indexing is relative
+    to the oldest live element (``buf[0]`` is always the survivor that has
+    been around longest).  ``evicted`` counts how many appends have been
+    pushed out -- eviction order is exactly append order (FIFO).
+    """
+
+    __slots__ = ("capacity", "_buf", "_head", "evicted")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buf: List[Any] = []
+        self._head = 0          # index of the oldest element once full
+        self.evicted = 0
+
+    def append(self, item: Any) -> None:
+        if len(self._buf) < self.capacity:
+            self._buf.append(item)
+            return
+        self._buf[self._head] = item
+        self._head = (self._head + 1) % self.capacity
+        self.evicted += 1
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self) -> Iterator[Any]:
+        for i in range(len(self._buf)):
+            yield self._buf[(self._head + i) % len(self._buf)]
+
+    def __getitem__(self, index: int) -> Any:
+        n = len(self._buf)
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(n))]
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"index {index} out of range for size {n}")
+        return self._buf[(self._head + index) % n]
+
+    @property
+    def last(self) -> Any:
+        if not self._buf:
+            raise IndexError("empty ring buffer")
+        return self[len(self._buf) - 1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<RingBuffer {len(self._buf)}/{self.capacity} "
+                f"evicted={self.evicted}>")
+
+
+class Series:
+    """One named time series: ring-buffered ``(t, value)`` points."""
+
+    __slots__ = ("name", "points")
+
+    def __init__(self, name: str, capacity: int):
+        self.name = name
+        self.points = RingBuffer(capacity)
+
+    def append(self, t: float, value: float) -> None:
+        self.points.append((t, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(self.points)
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]
+
+    def times(self) -> List[float]:
+        return [t for t, _ in self.points]
+
+    @property
+    def last(self) -> Tuple[float, float]:
+        return self.points.last
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Series {self.name} n={len(self.points)}>"
+
+
+class JsonlSink:
+    """Streaming JSONL writer: one compact JSON object per line.
+
+    Flushes after every record so an external tailer
+    (``scripts/bench_live.py``) sees samples as they land, not at close.
+    Accepts a path or an open file-ish object (anything with ``write``).
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if hasattr(target, "write"):
+            self._f: IO[str] = target           # type: ignore[assignment]
+            self._owns = False
+            self.path: Optional[str] = getattr(target, "name", None)
+        else:
+            self._f = open(target, "w")
+            self._owns = True
+            self.path = str(target)
+        self.records_written = 0
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self._f.write(json.dumps(record, separators=(",", ":"),
+                                 sort_keys=True, default=str))
+        self._f.write("\n")
+        self._f.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._f.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_stream(path: Union[str, IO[str]]) -> List[Dict[str, Any]]:
+    """Parse a stream JSONL file back into its records (blank lines and
+    trailing partial lines -- a tailer racing the writer -- are skipped)."""
+    if hasattr(path, "read"):
+        lines = path.read().splitlines()        # type: ignore[union-attr]
+    else:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    out: List[Dict[str, Any]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            continue                            # partial final line
+        if isinstance(rec, dict):
+            out.append(rec)
+    return out
+
+
+def summarize_stream(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Digest a stream: per-series stats, phases seen, events, SLO verdicts.
+
+    The shared backend of ``scripts/obs_dump.py --series`` and
+    ``scripts/bench_live.py``: everything is derived from the records
+    alone, so any tool holding the JSONL can reconstruct the run's live
+    view after the fact.
+    """
+    series: Dict[str, Dict[str, Any]] = {}
+    phases: List[Tuple[float, str]] = []
+    events: List[Dict[str, Any]] = []
+    slo: Dict[str, Dict[str, Any]] = {}
+    n_samples = 0
+    last_t = 0.0
+    last_phase: Optional[str] = None
+    for rec in records:
+        t = float(rec.get("t", 0.0))
+        last_t = max(last_t, t)
+        kind = rec.get("type")
+        if kind == "sample":
+            n_samples += 1
+            phase = (rec.get("tags") or {}).get("phase")
+            # 'done' is terminal: the final flush sample still carries the
+            # last window's tag, which must not reopen the run.
+            if (phase is not None and phase != last_phase
+                    and last_phase != "done"):
+                phases.append((t, phase))
+                last_phase = phase
+            for name, value in (rec.get("metrics") or {}).items():
+                st = series.get(name)
+                if st is None:
+                    st = series[name] = {
+                        "n": 0, "min": math.inf, "max": -math.inf,
+                        "sum": 0.0, "last": None, "last_t": None,
+                        "values": [],
+                    }
+                v = float(value)
+                st["n"] += 1
+                st["min"] = min(st["min"], v)
+                st["max"] = max(st["max"], v)
+                st["sum"] += v
+                st["last"] = v
+                st["last_t"] = t
+                st["values"].append(v)
+        elif kind == "event":
+            events.append(rec)
+            ekind = rec.get("kind", "")
+            if ekind == "phase" and rec.get("phase") is not None:
+                if rec["phase"] != last_phase:
+                    phases.append((t, rec["phase"]))
+                    last_phase = rec["phase"]
+            elif ekind in ("slo_violation", "slo_recovered"):
+                name = rec.get("slo", "?")
+                st = slo.setdefault(name, {"violations": 0, "recovered": 0,
+                                           "last": None})
+                key = ("violations" if ekind == "slo_violation"
+                       else "recovered")
+                st[key] += 1
+                st["last"] = rec
+    for st in series.values():
+        st["mean"] = st["sum"] / st["n"] if st["n"] else 0.0
+    return {
+        "n_samples": n_samples,
+        "t_end": last_t,
+        "phase": last_phase,
+        "phases": phases,
+        "series": series,
+        "events": events,
+        "slo": slo,
+    }
+
+
+def _delta_buckets(cur: Dict[int, int],
+                   prev: Dict[int, int]) -> Optional[Dict[int, int]]:
+    """Per-bucket count delta, or None when the histogram restarted (any
+    bucket went backwards -- the caller then treats ``cur`` as the whole
+    window's worth)."""
+    out: Dict[int, int] = {}
+    for idx, n in cur.items():
+        d = n - prev.get(idx, 0)
+        if d < 0:
+            return None
+        if d:
+            out[idx] = d
+    return out
+
+
+def _bucket_percentile(hist: Histogram, buckets: Dict[int, int],
+                       count: int, p: float) -> float:
+    """Nearest-rank percentile over a bucket-count delta (upper bucket
+    edge, same one-bucket-of-relative-error contract as the registry
+    histogram's lifetime percentile)."""
+    rank = max(1, math.ceil(p / 100 * count))
+    seen = 0
+    for idx in sorted(buckets):
+        seen += buckets[idx]
+        if seen >= rank:
+            return hist.bucket_bound(idx)
+    raise AssertionError("delta bucket counts do not cover count")
+
+
+class MetricsSampler:
+    """Periodic (sim-clock) sampling of a registry into ring-buffered
+    series, with an optional JSONL streaming sink.
+
+    Lifecycle::
+
+        sampler = MetricsSampler(sim, registry, interval=50 * us,
+                                 sink=JsonlSink("stream.jsonl"))
+        sampler.start()          # primes counter/histogram snapshots
+        ... run the workload ...
+        sampler.stop()           # takes one final sample, then halts
+
+    ``tags`` is a mutable dict stamped onto every sample record (the
+    phased harness keeps ``tags["phase"]`` current); ``on_sample`` hooks
+    (``fn(t, metrics, tags)``) run after each sample lands -- the SLO
+    watchdog and the harness's annotation watchers attach there.
+
+    ``prefixes``, when given, restricts sampling to instrument names
+    starting with any of them (a stream-size valve for huge registries).
+    """
+
+    def __init__(self, sim: Simulator, registry: MetricsRegistry,
+                 interval: float, capacity: int = 512,
+                 sink: Optional[JsonlSink] = None,
+                 prefixes: Optional[Sequence[str]] = None):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.registry = registry
+        self.interval = interval
+        self.capacity = capacity
+        self.sink = sink
+        self.prefixes = tuple(prefixes) if prefixes else None
+        self.tags: Dict[str, Any] = {}
+        self.on_sample: List[Callable[[float, Dict[str, float],
+                                       Dict[str, Any]], None]] = []
+        self.series: Dict[str, Series] = {}
+        self.samples = 0
+        self.events: List[Dict[str, Any]] = []
+        self._proc = None
+        self._running = False
+        self._last_t: Optional[float] = None
+        self._prev_counters: Dict[str, float] = {}
+        #: name -> (count, total, buckets copy) at the previous sample
+        self._prev_hists: Dict[str, Tuple[int, float, Dict[int, int]]] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> "MetricsSampler":
+        """Prime the delta baselines and spawn the sampling process."""
+        if self._running:
+            raise RuntimeError("sampler already started")
+        self._running = True
+        self._prime()
+        if self.sink is not None:
+            self.sink.write({"type": "meta", "t": self.sim.now,
+                             "interval": self.interval,
+                             "tags": dict(self.tags)})
+        self._proc = self.sim.process(self._loop(), name="metrics-sampler")
+        return self
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Halt the periodic process (idempotent).  By default one last
+        sample is taken first, so the tail window is never lost."""
+        if not self._running:
+            return
+        if final_sample and self.sim.now != self._last_t:
+            self.sample_once()
+        self._running = False
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("sampler stopped")
+        self._proc = None
+
+    def _loop(self):
+        try:
+            while self._running:
+                yield self.sim.timeout(self.interval)
+                if not self._running:       # stopped while sleeping
+                    return
+                self.sample_once()
+        except Interrupt:
+            return
+
+    # -- sampling ------------------------------------------------------------
+    def _want(self, name: str) -> bool:
+        if self.prefixes is None:
+            return True
+        return name.startswith(self.prefixes)
+
+    def _prime(self) -> None:
+        """Snapshot counter/histogram baselines without emitting points, so
+        the first sample reports true *window* deltas instead of charging
+        all pre-start history to one interval."""
+        self._last_t = self.sim.now
+        for name, c in self.registry.counters.items():
+            self._prev_counters[name] = c.value
+        for name, h in self.registry.histograms.items():
+            self._prev_hists[name] = (h.count, h.total, dict(h.buckets))
+
+    def _append(self, out: Dict[str, float], name: str,
+                value: float) -> None:
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = Series(name, self.capacity)
+        s.append(self.sim.now, value)
+        out[name] = value
+
+    def sample_once(self) -> Dict[str, float]:
+        """Take one sample now; returns the flat ``{series: value}`` dict."""
+        t = self.sim.now
+        dt = t - (self._last_t if self._last_t is not None else t)
+        if dt <= 0:
+            dt = self.interval                 # degenerate same-instant call
+        out: Dict[str, float] = {}
+        reg = self.registry
+        for name, c in reg.counters.items():
+            if not self._want(name):
+                continue
+            prev = self._prev_counters.get(name, 0.0)
+            cur = c.value
+            delta = cur - prev if cur >= prev else cur   # restart guard
+            self._prev_counters[name] = cur
+            self._append(out, f"{name}.rate", delta / dt)
+        for name, g in reg.gauges.items():
+            if self._want(name):
+                self._append(out, name, g.value)
+        for name, h in reg.histograms.items():
+            if not self._want(name):
+                continue
+            prev = self._prev_hists.get(name)
+            if prev is None:
+                prev = (0, 0.0, {})
+            pcount, ptotal, pbuckets = prev
+            dbuckets = (_delta_buckets(h.buckets, pbuckets)
+                        if h.count >= pcount else None)
+            if dbuckets is None:               # histogram restarted
+                dcount, dtotal = h.count, h.total
+                dbuckets = dict(h.buckets)
+            else:
+                dcount, dtotal = h.count - pcount, h.total - ptotal
+            self._prev_hists[name] = (h.count, h.total, dict(h.buckets))
+            self._append(out, f"{name}.rate", dcount / dt)
+            if dcount > 0:
+                self._append(out, f"{name}.mean", dtotal / dcount)
+                for p in (50, 95, 99):
+                    self._append(
+                        out, f"{name}.p{p}",
+                        _bucket_percentile(h, dbuckets, dcount, p))
+        # Probes are pulled fresh on every tick -- a probe-backed value in
+        # the stream is at most one interval old, never a stale capture.
+        for group, values in reg.probe_values().items():
+            for key, v in values.items():
+                name = f"{group}.{key}"
+                if self._want(name):
+                    self._append(out, name, v)
+        self._last_t = t
+        self.samples += 1
+        if self.sink is not None:
+            self.sink.write({"type": "sample", "t": t,
+                             "tags": dict(self.tags), "metrics": out})
+        for hook in self.on_sample:
+            hook(t, out, self.tags)
+        return out
+
+    # -- annotations ---------------------------------------------------------
+    def event(self, kind: str, t: Optional[float] = None,
+              **attrs: Any) -> Dict[str, Any]:
+        """Append one annotation event to the stream (and keep it)."""
+        rec: Dict[str, Any] = {"type": "event", "kind": kind,
+                               "t": self.sim.now if t is None else t}
+        rec.update(attrs)
+        self.events.append(rec)
+        if self.sink is not None:
+            self.sink.write(rec)
+        return rec
+
+    # -- reading -------------------------------------------------------------
+    def get(self, name: str) -> Optional[Series]:
+        return self.series.get(name)
+
+    def last_value(self, name: str) -> Optional[float]:
+        s = self.series.get(name)
+        if s is None or not len(s):
+            return None
+        return s.last[1]

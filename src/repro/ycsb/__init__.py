@@ -21,6 +21,8 @@ from repro.ycsb.generators import (
 from repro.ycsb.workload import (OpType, Workload, WORKLOAD_A, WORKLOAD_B,
                                  WORKLOAD_C, WORKLOAD_D, WORKLOAD_E)
 from repro.ycsb.runner import YcsbResult, run_ycsb
+from repro.ycsb.phased import (measurement_result, run_ycsb_phased,
+                               scenario_spec)
 
 __all__ = [
     "DiscreteGenerator",
@@ -36,5 +38,8 @@ __all__ = [
     "Workload",
     "YcsbResult",
     "ZipfianGenerator",
+    "measurement_result",
     "run_ycsb",
+    "run_ycsb_phased",
+    "scenario_spec",
 ]

@@ -84,9 +84,11 @@ class ZipfianGenerator:
 class ScrambledZipfianGenerator:
     """Zipfian popularity ranks scattered over the keyspace via FNV."""
 
-    def __init__(self, n: int, seed: int = 0):
+    def __init__(self, n: int, seed: int = 0,
+                 theta: float = ZipfianGenerator.ZIPFIAN_CONSTANT):
         self.n = n
-        self._zipf = ZipfianGenerator(n, seed=seed)
+        self.theta = theta
+        self._zipf = ZipfianGenerator(n, theta=theta, seed=seed)
 
     def next(self) -> int:
         return fnv1a_64(self._zipf.next()) % self.n

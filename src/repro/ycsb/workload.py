@@ -33,12 +33,20 @@ class OpType(enum.Enum):
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Operation mix + keyspace parameters."""
+    """Operation mix + keyspace parameters.
+
+    ``theta`` is the zipfian skew constant (YCSB's 0.99 default; only
+    meaningful for the zipfian distribution) and ``field_length`` the
+    bytes per field (values are ``field_length * FIELD_COUNT`` bytes) --
+    the two scenario-matrix axes of the phased benchmark harness.
+    """
 
     name: str
     mix: tuple                      # ((OpType, weight), ...)
     record_count: int = 1000
     distribution: str = "zipfian"   # or 'uniform'
+    theta: float = 0.99             # zipfian request skew
+    field_length: int = FIELD_LENGTH
 
 
 #: Workload A with GET/PUT halved for MultiGET/MultiPUT (S5.4).
@@ -97,7 +105,8 @@ class Workload:
                if insert_seq is not None else None)
         if spec.distribution == "zipfian":
             self._keychooser = ScrambledZipfianGenerator(spec.record_count,
-                                                         seed=seed)
+                                                         seed=seed,
+                                                         theta=spec.theta)
         elif spec.distribution == "uniform":
             self._keychooser = UniformGenerator(0, spec.record_count - 1,
                                                 seed=seed)
@@ -123,7 +132,7 @@ class Workload:
         return f"user{index:020d}".encode()[:KEY_LENGTH]
 
     def value(self) -> bytes:
-        return self._value_rng.randbytes(FIELD_LENGTH * FIELD_COUNT)
+        return self._value_rng.randbytes(self.spec.field_length * FIELD_COUNT)
 
     def load_items(self):
         """The (key, value) pairs of the load phase."""

@@ -1,5 +1,7 @@
 """Prometheus text rendering of a MetricsRegistry."""
 
+import re
+
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.promtext import render
 
@@ -20,23 +22,42 @@ def test_counter_and_gauge_render():
     assert text.endswith("\n")
 
 
-def test_histogram_renders_as_summary():
+def test_histogram_renders_as_histogram():
     reg = MetricsRegistry()
     h = reg.histogram("rpc.latency")
     for v in (1.0, 2.0, 3.0, 4.0):
         h.record(v)
     text = render(reg)
-    assert "# TYPE hatrpc_rpc_latency summary" in text
-    assert 'hatrpc_rpc_latency{quantile="0.5"}' in text
-    assert 'hatrpc_rpc_latency{quantile="0.95"}' in text
+    assert "# TYPE hatrpc_rpc_latency histogram" in text
+    assert 'hatrpc_rpc_latency_bucket{le="' in text
+    assert 'hatrpc_rpc_latency_bucket{le="+Inf"} 4' in text
     assert "hatrpc_rpc_latency_sum 10" in text
     assert "hatrpc_rpc_latency_count 4" in text
+
+
+def test_histogram_buckets_are_cumulative_and_close_at_inf():
+    reg = MetricsRegistry()
+    h = reg.histogram("rpc.latency")
+    for v in (1e-6, 2e-6, 4e-6, 1e-3, 2.5):
+        h.record(v)
+    text = render(reg, help_text=False)
+    buckets = re.findall(
+        r'hatrpc_rpc_latency_bucket\{le="([^"]+)"\} (\d+)', text)
+    assert buckets[-1][0] == "+Inf"
+    counts = [int(c) for _, c in buckets]
+    assert counts == sorted(counts), "bucket counts must be cumulative"
+    assert counts[-1] == 5
+    bounds = [float(b) for b, _ in buckets[:-1]]
+    assert bounds == sorted(bounds), "le= bounds must ascend"
+    # every finite bucket's count is how many samples fell at or below it
+    assert all(c <= 5 for c in counts)
 
 
 def test_empty_histogram_still_has_count():
     reg = MetricsRegistry()
     reg.histogram("rpc.latency")
     text = render(reg)
+    assert 'hatrpc_rpc_latency_bucket{le="+Inf"} 0' in text
     assert "hatrpc_rpc_latency_count 0" in text
 
 
@@ -74,3 +95,57 @@ def test_floats_render_roundtrippably():
     reg.gauge("g").set(2.5)
     text = render(reg, help_text=False)
     assert "hatrpc_g 2.5" in text
+
+
+def test_newlines_and_backslashes_escaped_in_labels_and_help():
+    reg = MetricsRegistry()
+    reg.probe("odd", lambda: {"line1\nline2": 1.0, "back\\slash": 2.0})
+    reg.counter("weird\nname\\here").inc()
+    text = render(reg)
+    # Every physical line must be a comment or a sample -- no raw newline
+    # from a label/help value may split a line in two.
+    for line in text.strip().split("\n"):
+        assert line.startswith("#") or re.match(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+$", line), line
+    assert '{key="line1\\nline2"}' in text
+    assert '{key="back\\\\slash"}' in text
+    assert "# HELP hatrpc_weird_name_here counter weird\\nname\\\\here" \
+        in text
+
+
+_LINE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*='
+    r'"(\\.|[^"\\\n])*")*\})?'
+    r" [0-9eE+.\-]+|[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'\{le="\+Inf"\} [0-9]+)$')
+
+
+def test_exposition_format_conformance():
+    """Every rendered line satisfies the text 0.0.4 line grammar, for a
+    registry exercising all four instrument families at once."""
+    reg = MetricsRegistry()
+    reg.counter("rpc.calls").inc(7)
+    g = reg.gauge("engine.inflight")
+    g.set(3)
+    h = reg.histogram("rpc.latency")
+    for v in (1e-6, 3e-6, 250e-6, 0.5):
+        h.record(v)
+    reg.probe("faults", lambda: {"timeouts": 0.0, "retries": 2.0})
+    text = render(reg)
+    assert text.endswith("\n")
+    seen_types = {}
+    for line in text.strip().split("\n"):
+        assert _LINE.match(line), f"non-conformant line: {line!r}"
+        if line.startswith("# TYPE"):
+            _, _, name, family = line.split(" ", 3)
+            assert family in ("counter", "gauge", "histogram", "summary")
+            assert name not in seen_types, f"duplicate TYPE for {name}"
+            seen_types[name] = family
+    assert seen_types["hatrpc_rpc_calls"] == "counter"
+    assert seen_types["hatrpc_rpc_latency"] == "histogram"
+    # _count always equals the +Inf bucket.
+    inf = re.search(r'hatrpc_rpc_latency_bucket\{le="\+Inf"\} (\d+)', text)
+    count = re.search(r"hatrpc_rpc_latency_count (\d+)", text)
+    assert inf.group(1) == count.group(1) == "4"
