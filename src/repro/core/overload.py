@@ -125,8 +125,10 @@ class AdmissionGate:
         self.rejected = 0
         self.shed_by_priority = {"low": 0, "normal": 0, "high": 0}
         #: observers called with the new mark each time ``high_water``
-        #: advances (the phased bench harness annotates these live)
+        #: advances (the phased bench harness annotates these live);
+        #: exceptions are contained and counted in ``hook_errors``
         self.on_high_water: list = []
+        self.hook_errors = 0
         reg = obs.current()
         if reg is not None:
             self._m_occupancy = reg.gauge("admission.occupancy")
@@ -155,13 +157,22 @@ class AdmissionGate:
             return self.cfg.retry_after_base * (1.0 + occupancy)
         self.inflight += 1
         self.admitted += 1
-        if self.inflight > self.high_water:
-            self.high_water = self.inflight
-            for hook in self.on_high_water:
-                hook(self.high_water)
+        # Gauge first: observer hooks run below, and a raising hook must
+        # not leave ``admission.occupancy`` lagging the slot it consumed.
         if self._m_occupancy is not None:
             self._m_occupancy.set(self.inflight)
             self._m_admitted.inc()
+        if self.inflight > self.high_water:
+            self.high_water = self.inflight
+            for hook in self.on_high_water:
+                try:
+                    hook(self.high_water)
+                except Exception:
+                    # Observers are best-effort annotators; a broken one
+                    # must not poison the admission path (the caller would
+                    # never reach its release(), under-reporting occupancy
+                    # forever after).
+                    self.hook_errors += 1
         return None
 
     def release(self) -> None:

@@ -290,20 +290,28 @@ class HatRpcServer:
                 # reply -- that cheapness is what makes shedding work.
                 priority = priorities.get(peek_fn_name(request), "normal")
                 retry_after = gate.admit(priority)
-                ap = sim.active_process
-                ctx = ap.trace_ctx if ap is not None else None
-                if ctx is not None:
-                    ctx.stage("admission", sim.now, sim.now,
-                              admitted=retry_after is None,
-                              priority=priority)
                 if retry_after is not None:
+                    ap = sim.active_process
+                    ctx = ap.trace_ctx if ap is not None else None
+                    if ctx is not None:
+                        ctx.stage("admission", sim.now, sim.now,
+                                  admitted=False, priority=priority)
                     # No epoch echo on a rejection: the typed frame must
                     # stay recognizable to every client, tuned or not (and
                     # a shed request says nothing about the plan choice).
                     rej = pack_rej(retry_after)
                     return pack_pip(pip_seq) + rej \
                         if pip_seq is not None else rej
+                # Everything after a successful admit -- the trace stage
+                # included -- sits inside the try, so any dispatch-path
+                # exception still releases the slot and re-syncs the
+                # occupancy gauge (a leaked slot would shed load forever).
                 try:
+                    ap = sim.active_process
+                    ctx = ap.trace_ctx if ap is not None else None
+                    if ctx is not None:
+                        ctx.stage("admission", sim.now, sim.now,
+                                  admitted=True, priority=priority)
                     return (yield from _process(pip_seq, epoch, request))
                 finally:
                     gate.release()
@@ -447,9 +455,10 @@ class AsyncCaller:
         self.client = client
         self.engine = client.engine
 
-    def call_async(self, method: str, *args):
+    def call_async(self, method: str, *args, channel: Optional[int] = None):
         """Coroutine: issue ``stub.<method>(*args)`` without waiting;
-        returns a :class:`StubCallHandle`."""
+        returns a :class:`StubCallHandle`.  ``channel`` overrides the
+        planned channel for this one call (hot-read steering)."""
         trdma = _AsyncTRdma(self.engine)
         proto = HintedProtocol(self.client.protocol_factory(trdma), trdma)
         stub = self.client._stub_cls(proto)
@@ -472,7 +481,8 @@ class AsyncCaller:
         fn, message, oneway, seqid = trdma.captured
         handle = yield from self.engine.call_async(fn, message,
                                                    oneway=oneway,
-                                                   seqid=seqid)
+                                                   seqid=seqid,
+                                                   channel=channel)
         return StubCallHandle(method, handle, gen, trdma)
 
     def call_many(self, calls, timeout: Optional[float] = None):

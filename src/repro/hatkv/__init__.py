@@ -15,17 +15,22 @@ The pieces map one-to-one onto Figure 10:
 
 from repro.hatkv.idl import hatkv_idl, load_hatkv_module
 from repro.hatkv.backend import BackendCosts, LmdbBackend
-from repro.hatkv.server import HatKVServer
-from repro.hatkv.client import connect_hatkv
+from repro.hatkv.cache import HotKeyCache
+from repro.hatkv.server import HatKVServer, LeaseTable
+from repro.hatkv.client import KVClient, cache_for, connect_hatkv
 from repro.hatkv.sharding import HashRing, ShardRouter, ShardedKVCluster
 
 __all__ = [
     "BackendCosts",
     "HashRing",
     "HatKVServer",
+    "HotKeyCache",
+    "KVClient",
+    "LeaseTable",
     "LmdbBackend",
     "ShardRouter",
     "ShardedKVCluster",
+    "cache_for",
     "connect_hatkv",
     "hatkv_idl",
     "load_hatkv_module",

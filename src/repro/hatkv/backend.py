@@ -146,6 +146,9 @@ class LmdbBackend:
         return self._traced("put", self._put(key, value),
                             nbytes=len(value))
 
+    def delete(self, key: bytes):
+        return self._traced("delete", self._delete(key))
+
     def multi_put(self, keys, values):
         return self._traced("multi_put", self._multi_put(keys, values),
                             nbytes=sum(len(v) for v in values))
@@ -217,6 +220,25 @@ class LmdbBackend:
         finally:
             self._writer.release()
         self.writes += 1
+
+    def _delete(self, key: bytes):
+        """Coroutine: remove one key; returns whether it existed."""
+        c = self.costs
+        yield self._writer.acquire()
+        try:
+            depth = self._depth()
+            yield from self._charge(
+                c.txn_begin + depth * (c.page_touch + c.page_copy))
+            with self.env.begin(write=True) as txn:
+                found = txn.delete(key)
+            yield from self._charge(self._commit_cost())
+        except BaseException:
+            self.aborts += 1
+            raise
+        finally:
+            self._writer.release()
+        self.writes += 1
+        return found
 
     def _multi_put(self, keys, values):
         if len(keys) != len(values):

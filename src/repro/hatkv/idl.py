@@ -25,7 +25,8 @@ _COUNTER = [0]
 
 
 def hatkv_idl(variant: str = "function", concurrency: int = 128,
-              priorities: Optional[Mapping[str, str]] = None) -> str:
+              priorities: Optional[Mapping[str, str]] = None,
+              cacheable: Optional[Mapping[str, object]] = None) -> str:
     """The KVService IDL text.
 
     ``priorities`` optionally maps function names to a ``priority`` hint
@@ -34,12 +35,22 @@ def hatkv_idl(variant: str = "function", concurrency: int = 128,
     under overload.  Opt-in because the priority hint also feeds the
     selector (low-priority functions take the resource-efficient polling
     path), which changes the channel plan.
+
+    ``cacheable`` optionally marks Get as client-cacheable, e.g.
+    ``{"ttl": 200e-6, "hot_promote": 8}``: the server grants per-key
+    leases of ``ttl`` seconds on Get replies and the plan gains a
+    one-sided hot-read channel when ``hot_promote >= 1`` (see the
+    ``cacheable`` hint in :mod:`repro.core.hints`).
     """
     if variant not in ("service", "function"):
         raise ValueError("variant must be 'service' or 'function'")
     fn_hints = {
         "Get": "[ c_hint: payload_size = 64; s_hint: payload_size = 1KB; ]",
         "Put": "[ c_hint: payload_size = 1KB; s_hint: payload_size = 64; ]",
+        # Delete mirrors Put's payload geometry (tiny request, tiny reply)
+        # so it shares Put's channel and leaves the plan shape unchanged.
+        "Delete": "[ c_hint: payload_size = 1KB; "
+                  "s_hint: payload_size = 64; ]",
         "MultiGet": "[ c_hint: payload_size = 512; "
                     "s_hint: payload_size = 10KB; ]",
         "MultiPut": "[ c_hint: payload_size = 10KB; "
@@ -47,8 +58,8 @@ def hatkv_idl(variant: str = "function", concurrency: int = 128,
         "Scan": "[ c_hint: payload_size = 64; "
                 "s_hint: payload_size = 10KB; ]",
     } if variant == "function" else {k: "" for k in
-                                     ("Get", "Put", "MultiGet", "MultiPut",
-                                      "Scan")}
+                                     ("Get", "Put", "Delete", "MultiGet",
+                                      "MultiPut", "Scan")}
     for fn, level in (priorities or {}).items():
         if fn not in fn_hints:
             raise KeyError(f"unknown KVService function {fn!r}")
@@ -59,15 +70,32 @@ def hatkv_idl(variant: str = "function", concurrency: int = 128,
         block = fn_hints[fn]
         fn_hints[fn] = f"[ {clause} ]" if not block \
             else block[:-1].rstrip() + f" {clause} ]"
+    if cacheable is not None:
+        ttl = float(cacheable["ttl"])
+        if ttl <= 0:
+            raise ValueError(f"cacheable ttl must be > 0, not {ttl!r}")
+        hot = int(cacheable.get("hot_promote", 0))
+        clause = (f"hint: cacheable(ttl = {ttl:.9f}, "
+                  f"hot_promote = {hot});")
+        block = fn_hints["Get"]
+        fn_hints["Get"] = f"[ {clause} ]" if not block \
+            else block[:-1].rstrip() + f" {clause} ]"
     return f"""
 // HatKV service (Figure 10).  Variant: HatRPC-{variant.capitalize()}.
 
 // Get's reply distinguishes "absent" from "stored an empty value":
 // a bare binary return conflated the two (b"" either way), so a shard
 // router could not tell a misrouted key from an empty one.
+// version/lease are the cacheable-hint protocol fields: the key's write
+// version and the granted lease duration in seconds (0 = not cacheable
+// or a writer was in flight).  Both stay unset (None on the wire's
+// skip-None encoding) when the service carries no cacheable hint, so
+// uncached deployments keep today's byte-identical replies.
 struct GetResult {{
     1: bool found,
     2: binary value,
+    3: i64 version,
+    4: double lease,
 }}
 
 service KVService {{
@@ -75,6 +103,7 @@ service KVService {{
 
     GetResult Get(1: binary key) {fn_hints['Get']}
     void Put(1: binary key, 2: binary value) {fn_hints['Put']}
+    void Delete(1: binary key) {fn_hints['Delete']}
     list<binary> MultiGet(1: list<binary> keys) {fn_hints['MultiGet']}
     void MultiPut(1: list<binary> keys, 2: list<binary> values) {fn_hints['MultiPut']}
     list<binary> Scan(1: binary start_key, 2: i32 count) {fn_hints['Scan']}
@@ -83,7 +112,8 @@ service KVService {{
 
 
 def load_hatkv_module(variant: str = "function", concurrency: int = 128,
-                      priorities: Optional[Mapping[str, str]] = None):
+                      priorities: Optional[Mapping[str, str]] = None,
+                      cacheable: Optional[Mapping[str, object]] = None):
     _COUNTER[0] += 1
-    return load_idl(hatkv_idl(variant, concurrency, priorities),
+    return load_idl(hatkv_idl(variant, concurrency, priorities, cacheable),
                     f"hatkv_gen_{variant}_{_COUNTER[0]}")

@@ -6,13 +6,13 @@ from typing import Optional
 
 from repro import obs
 from repro.core.engine import ServicePlan
-from repro.core.hints import resolve_hints
+from repro.core.hints import cacheable_hint, resolve_hints
 from repro.core.runtime import HatRpcServer
 from repro.hatkv.backend import LmdbBackend
 from repro.sim.cluster import Node
 from repro.sim.units import GiB
 
-__all__ = ["HatKVServer", "KVHandler"]
+__all__ = ["HatKVServer", "KVHandler", "LeaseTable"]
 
 SERVICE = "KVService"
 BASE_SID = 6000
@@ -22,9 +22,123 @@ class _PlainGetResult:
     """Stand-in for the generated GetResult when no gen module is wired
     (unit tests poking the handler directly)."""
 
-    def __init__(self, found: bool = False, value: bytes = b""):
+    def __init__(self, found: bool = False, value: bytes = b"",
+                 version=None, lease=None):
         self.found = found
         self.value = value
+        self.version = version
+        self.lease = lease
+
+
+#: Default write-rate suppression window, as a multiple of the lease ttl
+#: (see :class:`LeaseTable`).
+LEASE_SUPPRESS_FACTOR = 2.0
+
+#: Leases at or below this ttl skip write-rate suppression entirely.  A
+#: writer's stall is bounded by one lease epoch, so with short leases the
+#: stall is cheap -- while suppression would mute the hottest keys, which
+#: are exactly where a short-lease cache earns its keep.  Long leases
+#: invert the trade: one stalled writer waits out most of a (long) epoch
+#: and write-hot keys convoy, so suppression kicks in.
+LEASE_SUPPRESS_MIN_TTL = 100e-6
+
+
+class LeaseTable:
+    """Server half of the ``cacheable`` hint's version/lease protocol.
+
+    Invariant: while any granted lease on a key is unexpired, the key's
+    value cannot change.  Writers register their intent first (which
+    blocks new grants on the key), then wait out the outstanding lease
+    horizon before applying, so a client serving a leased entry can never
+    return a value older than the last *acknowledged* write.  Get grants
+    a lease only when no writer is in flight AND the key's version did
+    not move during its backend read.
+
+    Grants on long leases (past :data:`LEASE_SUPPRESS_MIN_TTL`) are also
+    *write-rate suppressed*: a key written within the last
+    ``suppress_factor * ttl`` is refused a lease.  A write-hot key
+    would otherwise convoy -- each Put waits out a lease horizon that
+    concurrent Gets keep re-extending the moment the previous writer
+    drains, so writers queue faster than barriers complete.  Suppression
+    keeps such keys permanently lease-free (their writers sail through an
+    already-expired horizon) while read-mostly keys, whose writes are
+    rarer than the window, stay cacheable.
+    """
+
+    def __init__(self, sim, ttl: float,
+                 suppress_factor: Optional[float] = None):
+        self.sim = sim
+        self.ttl = ttl
+        if suppress_factor is None:
+            suppress_factor = LEASE_SUPPRESS_FACTOR \
+                if ttl > LEASE_SUPPRESS_MIN_TTL else 0.0
+        self.suppress = suppress_factor * ttl
+        self.versions = {}        # key -> write version (monotonic)
+        self._expiry = {}         # key -> latest granted lease expiry
+        self._writers = {}        # key -> in-flight writer count
+        self._last_write = {}     # key -> sim time of latest version bump
+        reg = obs.current()
+        self._m_grants = reg.counter("hatkv.lease.grants") if reg else None
+        self._m_stalls = reg.counter("hatkv.lease.write_stalls") if reg \
+            else None
+        self._m_suppressed = reg.counter("hatkv.lease.suppressed") if reg \
+            else None
+
+    def version(self, key) -> int:
+        return self.versions.get(key, 0)
+
+    def grant(self, key, v0: int) -> float:
+        """A ``ttl`` lease, or 0.0 when the key is not safely cacheable
+        right now (writer in flight, version moved past ``v0``, or the
+        key was written within the suppression window)."""
+        if self._writers.get(key) or self.versions.get(key, 0) != v0:
+            return 0.0
+        last = self._last_write.get(key)
+        if last is not None and self.sim.now - last < self.suppress:
+            if self._m_suppressed is not None:
+                self._m_suppressed.inc()
+            return 0.0
+        # Epoch-capped: every grant inside one lease window shares the
+        # window's expiry instead of extending it, so a writer's barrier
+        # is bounded by one ttl from the epoch's *first* grant -- without
+        # the cap, back-to-back reads would push the horizon out forever.
+        exp = self._expiry.get(key, 0.0)
+        if exp <= self.sim.now:
+            exp = self.sim.now + self.ttl
+            self._expiry[key] = exp
+        if self._m_grants is not None:
+            self._m_grants.inc()
+        return exp - self.sim.now
+
+    def begin_write(self, *keys) -> None:
+        for k in keys:
+            self._writers[k] = self._writers.get(k, 0) + 1
+
+    def end_write(self, *keys) -> None:
+        for k in keys:
+            n = self._writers.get(k, 0) - 1
+            if n <= 0:
+                self._writers.pop(k, None)
+            else:
+                self._writers[k] = n
+
+    def write_barrier(self, *keys):
+        """Coroutine: wait until every outstanding lease on ``keys`` has
+        expired.  The caller must hold ``begin_write`` on the keys so no
+        new lease extends the horizon while waiting."""
+        horizon = max((self._expiry.get(k, 0.0) for k in keys), default=0.0)
+        if horizon > self.sim.now:
+            if self._m_stalls is not None:
+                self._m_stalls.inc()
+            yield self.sim.timeout(horizon - self.sim.now)
+        for k in keys:
+            if self._expiry.get(k, 0.0) <= self.sim.now:
+                self._expiry.pop(k, None)
+
+    def bump(self, *keys) -> None:
+        for k in keys:
+            self.versions[k] = self.versions.get(k, 0) + 1
+            self._last_write[k] = self.sim.now
 
 
 class KVHandler:
@@ -37,14 +151,16 @@ class KVHandler:
     """
 
     def __init__(self, backend: LmdbBackend, result_cls=None,
-                 shard: Optional[int] = None):
+                 shard: Optional[int] = None,
+                 leases: Optional[LeaseTable] = None):
         self.backend = backend
         self.result_cls = result_cls or _PlainGetResult
         self.shard = shard
+        self.leases = leases
         # Per-op instruments, captured once (None = metrics disabled).
         reg = obs.current()
         if reg is not None:
-            ops = ("get", "put", "multi_get", "multi_put", "scan")
+            ops = ("get", "put", "delete", "multi_get", "multi_put", "scan")
             self._m_ops = {op: reg.counter(f"hatkv.{op}") for op in ops}
             if shard is not None:
                 self._m_shard = {op: reg.counter(f"hatkv.shard{shard}.{op}")
@@ -72,14 +188,50 @@ class KVHandler:
     def Get(self, key):
         self._count("get")
         self._annotate("get", key_bytes=len(key))
+        lt = self.leases
+        if lt is None:
+            value = yield from self.backend.get(key)
+            return self.result_cls(found=value is not None,
+                                   value=value if value is not None else b"")
+        # Capture the version BEFORE the backend read: a write landing
+        # mid-read moves it, and grant() then refuses the lease (the value
+        # we are about to return may already be stale).
+        v0 = lt.version(key)
         value = yield from self.backend.get(key)
+        lease = lt.grant(key, v0)
         return self.result_cls(found=value is not None,
-                               value=value if value is not None else b"")
+                               value=value if value is not None else b"",
+                               version=lt.version(key), lease=lease)
 
     def Put(self, key, value):
         self._count("put")
         self._annotate("put", value_bytes=len(value))
-        yield from self.backend.put(key, value)
+        lt = self.leases
+        if lt is None:
+            yield from self.backend.put(key, value)
+            return
+        lt.begin_write(key)
+        try:
+            yield from lt.write_barrier(key)
+            yield from self.backend.put(key, value)
+            lt.bump(key)
+        finally:
+            lt.end_write(key)
+
+    def Delete(self, key):
+        self._count("delete")
+        self._annotate("delete", key_bytes=len(key))
+        lt = self.leases
+        if lt is None:
+            yield from self.backend.delete(key)
+            return
+        lt.begin_write(key)
+        try:
+            yield from lt.write_barrier(key)
+            yield from self.backend.delete(key)
+            lt.bump(key)
+        finally:
+            lt.end_write(key)
 
     def MultiGet(self, keys):
         self._count("multi_get")
@@ -91,7 +243,17 @@ class KVHandler:
         self._count("multi_put")
         self._annotate("multi_put", nkeys=len(keys),
                        value_bytes=sum(len(v) for v in values))
-        yield from self.backend.multi_put(keys, values)
+        lt = self.leases
+        if lt is None:
+            yield from self.backend.multi_put(keys, values)
+            return
+        lt.begin_write(*keys)
+        try:
+            yield from lt.write_barrier(*keys)
+            yield from self.backend.multi_put(keys, values)
+            lt.bump(*keys)
+        finally:
+            lt.end_write(*keys)
 
     def Scan(self, start_key, count):
         self._count("scan")
@@ -135,8 +297,16 @@ class HatKVServer:
                 from dataclasses import replace
                 hints = replace(hints, concurrency=concurrency)
             self.backend.apply_hints(hints)
+        # A cacheable hint on Get (resolved server-side) stands up the
+        # lease table: Get replies then carry version + lease and writers
+        # wait out outstanding leases before applying.
+        hint_map = gen_module.SERVICE_HINTS.get(SERVICE, {})
+        cc = cacheable_hint(resolve_hints(
+            hint_map.get("service", {}),
+            hint_map.get("functions", {}).get("Get"), "server"))
+        self.leases = LeaseTable(node.sim, cc.ttl) if cc is not None else None
         self.handler = KVHandler(self.backend, result_cls=gen_module.GetResult,
-                                 shard=shard)
+                                 shard=shard, leases=self.leases)
         # pipeline=True provisions windowed channels; connect the clients
         # with pipeline=True too -- both peers must share the plan.
         # admission/srq: the overload-protection stack (see HatRpcServer) --

@@ -26,7 +26,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.thrift.errors import TTransportException
 
 from repro import obs
-from repro.hatkv.client import IDEMPOTENT_FUNCTIONS, connect_hatkv
+from repro.hatkv.cache import (HIT_COST, HotKeyCache, cache_hit_result,
+                               trace_cache_hit)
+from repro.hatkv.client import (IDEMPOTENT_FUNCTIONS, cache_for,
+                                connect_hatkv)
 from repro.hatkv.idl import load_hatkv_module
 from repro.hatkv.server import BASE_SID, SERVICE, HatKVServer
 
@@ -166,7 +169,8 @@ class ShardedKVCluster:
 
     def connect(self, node, deadline: Optional[float] = None,
                 retry_policy=None, rng=None, tunable: bool = False,
-                tuner=None):
+                tuner=None, cache: bool = True,
+                cache_capacity: int = 4096):
         """Coroutine: a :class:`ShardRouter` on ``node``, with one engine
         channel set per shard (per-shard plan, window, and breakers).
 
@@ -175,6 +179,16 @@ class ShardedKVCluster:
         their shapes match the tuner's bind invariant.  The cluster's
         servers must be built with ``tunable=True`` to serve the
         alternate channels.
+
+        When the gen module's IDL marks Get ``cacheable`` (and ``cache``
+        is left on), the router gets a per-client
+        :class:`~repro.hatkv.cache.HotKeyCache` sitting above the shard
+        fan-out; ``cache=False`` opts a client out (e.g. a cache-off
+        baseline against the same cluster).  Passing a
+        :class:`~repro.hatkv.cache.HotKeyCache` instance instead shares
+        that cache with other routers -- the per-machine shape, where
+        every client process on a node reads through (and invalidates)
+        one cache.
         """
         stubs = []
         for i, server in enumerate(self.servers):
@@ -186,7 +200,12 @@ class ShardedKVCluster:
                 pipeline=self.pipeline, trace_attrs={"shard": i},
                 tunable=tunable, tuner=tuner)
             stubs.append(stub)
-        return ShardRouter(self, node, stubs)
+        if isinstance(cache, HotKeyCache):
+            kv_cache = cache
+        else:
+            kv_cache = cache_for(node, self.gen, cache_capacity) if cache \
+                else None
+        return ShardRouter(self, node, stubs, cache=kv_cache)
 
     @property
     def requests(self) -> int:
@@ -203,13 +222,17 @@ class ShardRouter:
     replicas and surface transport errors typed, never blindly re-sent.
     """
 
-    def __init__(self, cluster: ShardedKVCluster, node, stubs):
+    def __init__(self, cluster: ShardedKVCluster, node, stubs, cache=None):
         self.cluster = cluster
         self.node = node
+        self.cache = cache
         self._stubs = list(stubs)
         self._clients = [s._hatrpc for s in stubs]
         self._callers = [c.async_caller() for c in self._clients]
         self._engines = [c.engine for c in self._clients]
+        self._result_cls = cluster.gen.GetResult
+        self._hot = [e.hot_read_channel() for e in self._engines] \
+            if cache is not None else [None] * len(self._engines)
         reg = obs.current()
         if reg is not None:
             self._m_ops = [reg.counter(f"hatkv.router.shard{i}.ops")
@@ -221,6 +244,11 @@ class ShardRouter:
             self._m_reroutes = None
             self._m_read_failovers = None
         self._rerouting: set = set()       # (fn, seqid) pairs in takeover
+        #: bumped at every swept-call takeover; reads snapshot it before
+        #: issuing and only feed the cache when it did not move (a reply
+        #: that raced a takeover may itself be a replica's answer,
+        #: delivered transparently through the original handle)
+        self._takeover_gen = 0
         for shard, engine in enumerate(self._engines):
             engine.sweep_reroute = self._reroute_hook(shard)
 
@@ -242,6 +270,11 @@ class ShardRouter:
                         if self._engines[r].is_open()]
             if not replicas:
                 return False
+            self._takeover_gen += 1
+            if self.cache is not None:
+                # Takeover = topology event: every cached entry's
+                # provenance is suspect, so none may be served.
+                self.cache.clear()
             self._rerouting.add((entry.fn, entry.seqid))
             self.node.sim.process(
                 self._reroute_entry(entry, replicas),
@@ -286,20 +319,49 @@ class ShardRouter:
         if self._m_ops is not None:
             self._m_ops[shard].inc()
 
+    def _serve_hit(self, key, entry):
+        """Coroutine: one cache-served Get (hit cost + trace stage)."""
+        yield self.node.compute(HIT_COST)
+        trace_cache_hit(self._engines[self.cluster.primary(key)], "Get",
+                        entry)
+        return cache_hit_result(self._result_cls, entry)
+
     # -- the stub API --------------------------------------------------------
     def Get(self, key):
-        """Coroutine: GetResult for ``key``; reads fail over in preference
-        order when a shard's transport is down."""
+        """Coroutine: GetResult for ``key``; the hot-key cache sits above
+        the shard fan-out, and reads fail over in preference order when a
+        shard's transport is down.  Failover answers may lag the primary,
+        so they invalidate the key and are never cached."""
+        cache = self.cache
+        if cache is not None:
+            entry = cache.lookup(key)
+            if entry is not None:
+                return (yield from self._serve_hit(key, entry))
         last: Optional[Exception] = None
+        gen0 = self._takeover_gen
         for hop, shard in enumerate(self.cluster.preference(key)):
             self._count(shard)
+            issued = self.node.sim.now
             try:
-                result = yield from self._stubs[shard].Get(key)
+                if hop == 0 and cache is not None and cache.promoted(key) \
+                        and self._hot[shard] is not None \
+                        and self._engines[shard].channel_saturated("Get"):
+                    cache.count_hot_read()
+                    h = yield from self._callers[shard].call_async(
+                        "Get", key, channel=self._hot[shard])
+                    result = yield from h.wait()
+                else:
+                    result = yield from self._stubs[shard].Get(key)
             except TTransportException as exc:
                 last = exc
                 continue
-            if hop and self._m_read_failovers is not None:
-                self._m_read_failovers.inc()
+            if hop or self._takeover_gen != gen0:
+                if self._m_read_failovers is not None and hop:
+                    self._m_read_failovers.inc()
+                if cache is not None:
+                    cache.invalidate(key)
+            elif cache is not None:
+                cache.admit(key, result, issued=issued)
             return result
         raise last
 
@@ -312,31 +374,75 @@ class ShardRouter:
         still holding the pre-write value -- the router never
         blind-retries writes and never lets a replica get ahead of its
         primary."""
-        pref = self.cluster.preference(key)
-        for shard in pref:
-            self._count(shard)
-        yield from self._stubs[pref[0]].Put(key, value)
-        if len(pref) == 1:
-            return
-        handles = []
-        for shard in pref[1:]:
-            handles.append((yield from self._callers[shard].call_async(
-                "Put", key, value)))
-        first: Optional[Exception] = None
-        for h in handles:
-            try:
-                yield from h.wait()
-            except Exception as exc:
-                if first is None:
-                    first = exc
-        if first is not None:
-            raise first
+        try:
+            pref = self.cluster.preference(key)
+            for shard in pref:
+                self._count(shard)
+            yield from self._stubs[pref[0]].Put(key, value)
+            if len(pref) == 1:
+                return
+            handles = []
+            for shard in pref[1:]:
+                handles.append((yield from self._callers[shard].call_async(
+                    "Put", key, value)))
+            first: Optional[Exception] = None
+            for h in handles:
+                try:
+                    yield from h.wait()
+                except Exception as exc:
+                    if first is None:
+                        first = exc
+            if first is not None:
+                raise first
+        finally:
+            if self.cache is not None:
+                self.cache.invalidate(key)
+
+    def Delete(self, key):
+        """Coroutine: remove ``key`` from every replica of its shard,
+        primary-first (same write discipline as :meth:`Put`)."""
+        try:
+            pref = self.cluster.preference(key)
+            for shard in pref:
+                self._count(shard)
+            yield from self._stubs[pref[0]].Delete(key)
+            if len(pref) == 1:
+                return
+            handles = []
+            for shard in pref[1:]:
+                handles.append((yield from self._callers[shard].call_async(
+                    "Delete", key)))
+            first: Optional[Exception] = None
+            for h in handles:
+                try:
+                    yield from h.wait()
+                except Exception as exc:
+                    if first is None:
+                        first = exc
+            if first is not None:
+                raise first
+        finally:
+            if self.cache is not None:
+                self.cache.invalidate(key)
 
     def MultiGet(self, keys):
         """Coroutine: values for ``keys`` (b"" when absent), fanned as one
-        server-side MultiGet per shard, reassembled in request order."""
+        server-side MultiGet per shard, reassembled in request order.
+        Cached keys are served locally (batch replies carry no versions,
+        so misses are not admitted here)."""
+        cache = self.cache
+        out: List[Optional[bytes]] = [None] * len(keys)
         groups: Dict[int, Tuple[List[int], List[bytes]]] = {}
         for pos, key in enumerate(keys):
+            if cache is not None:
+                entry = cache.lookup(key)
+                if entry is not None:
+                    yield self.node.compute(HIT_COST)
+                    trace_cache_hit(
+                        self._engines[self.cluster.primary(key)],
+                        "MultiGet", entry)
+                    out[pos] = entry.value if entry.found else b""
+                    continue
             shard = self.cluster.primary(key)
             positions, subkeys = groups.setdefault(shard, ([], []))
             positions.append(pos)
@@ -347,12 +453,14 @@ class ShardRouter:
             handles.append((shard, positions, subkeys,
                             (yield from self._callers[shard].call_async(
                                 "MultiGet", subkeys))))
-        out: List[Optional[bytes]] = [None] * len(keys)
         for shard, positions, subkeys, h in handles:
             try:
                 values = yield from h.wait()
             except TTransportException:
                 values = yield from self._multi_get_fallback(shard, subkeys)
+                if cache is not None:
+                    for key in subkeys:
+                        cache.invalidate(key)
             for pos, value in zip(positions, values):
                 out[pos] = value
         return out
@@ -382,76 +490,143 @@ class ShardRouter:
         touched; the first failure raises after its phase settles."""
         if len(keys) != len(values):
             raise ValueError("keys/values length mismatch")
-        primary: Dict[int, Tuple[List[bytes], List[bytes]]] = {}
-        replica: Dict[int, Tuple[List[bytes], List[bytes]]] = {}
-        for key, value in zip(keys, values):
-            pref = self.cluster.preference(key)
-            for phase, shard in zip((primary,) + (replica,) * (len(pref) - 1),
-                                    pref):
-                ks, vs = phase.setdefault(shard, ([], []))
-                ks.append(key)
-                vs.append(value)
-        for phase in (primary, replica):
-            handles = []
-            for shard, (ks, vs) in phase.items():
-                self._count(shard)
-                handles.append((yield from self._callers[shard].call_async(
-                    "MultiPut", ks, vs)))
-            first: Optional[Exception] = None
-            for h in handles:
-                try:
-                    yield from h.wait()
-                except Exception as exc:
-                    if first is None:
-                        first = exc
-            if first is not None:
-                raise first
+        try:
+            primary: Dict[int, Tuple[List[bytes], List[bytes]]] = {}
+            replica: Dict[int, Tuple[List[bytes], List[bytes]]] = {}
+            for key, value in zip(keys, values):
+                pref = self.cluster.preference(key)
+                for phase, shard in zip(
+                        (primary,) + (replica,) * (len(pref) - 1), pref):
+                    ks, vs = phase.setdefault(shard, ([], []))
+                    ks.append(key)
+                    vs.append(value)
+            for phase in (primary, replica):
+                handles = []
+                for shard, (ks, vs) in phase.items():
+                    self._count(shard)
+                    handles.append(
+                        (yield from self._callers[shard].call_async(
+                            "MultiPut", ks, vs)))
+                first: Optional[Exception] = None
+                for h in handles:
+                    try:
+                        yield from h.wait()
+                    except Exception as exc:
+                        if first is None:
+                            first = exc
+                if first is not None:
+                    raise first
+        finally:
+            if self.cache is not None:
+                for key in keys:
+                    self.cache.invalidate(key)
 
     def Scan(self, start_key, count):
         """Coroutine: global scan -- hash sharding scatters key ranges, so
-        every shard scans locally and the router merge-sorts the fronts."""
+        every shard scans locally and the router merges the fronts.
+
+        Replication surfaces a key from several shards, and a replica's
+        copy may lag its primary (a write is applied primary-first, so a
+        scan racing the replica fan-out -- or failing over mid-scan --
+        can read the pre-write value there).  Dedup therefore prefers the
+        row whose *answering* shard is the key's ring owner; a replica's
+        row only stands in when no primary answer arrived (that shard was
+        down and its leg failed over)."""
         handles = []
         for shard in range(self.cluster.n_shards):
             self._count(shard)
-            handles.append((yield from self._callers[shard].call_async(
-                "Scan", start_key, count)))
-        rows: List[Tuple[bytes, bytes]] = []
-        for h in handles:
-            flat = yield from h.wait()
-            rows.extend((flat[i], flat[i + 1])
-                        for i in range(0, len(flat), 2))
-        rows.sort()
+            handles.append((shard, (yield from self._callers[
+                shard].call_async("Scan", start_key, count))))
+        # key -> (came_from_primary, value)
+        best: Dict[bytes, Tuple[bool, bytes]] = {}
+        for shard, h in handles:
+            src = shard
+            try:
+                flat = yield from h.wait()
+            except TTransportException:
+                src, flat = yield from self._scan_fallback(
+                    shard, start_key, count)
+            for i in range(0, len(flat), 2):
+                k, v = flat[i], flat[i + 1]
+                primary = self.cluster.primary(k) == src
+                cur = best.get(k)
+                if cur is None or (primary and not cur[0]):
+                    best[k] = (primary, v)
         out: List[bytes] = []
-        prev_key: Optional[bytes] = None
-        for k, v in rows:                  # replicas surface a key twice
-            if k == prev_key:
-                continue
-            prev_key = k
+        for k in sorted(best):
             out.append(k)
-            out.append(v)
+            out.append(best[k][1])
             if len(out) == 2 * count:
                 break
         return out
+
+    def _scan_fallback(self, shard: int, start_key, count):
+        """Coroutine: re-run one shard's scan leg on its replicas; returns
+        ``(answering_shard, flat_rows)`` so the merge can tell the rows
+        were not primary answers."""
+        last: Optional[Exception] = None
+        for r in self.cluster.replica_shards(shard)[1:]:
+            self._count(r)
+            try:
+                flat = yield from self._stubs[r].Scan(start_key, count)
+            except TTransportException as exc:
+                last = exc
+                continue
+            if self._m_read_failovers is not None:
+                self._m_read_failovers.inc()
+            return r, flat
+        raise last if last is not None else TTransportException(
+            TTransportException.NOT_OPEN,
+            f"shard {shard} unreachable and no replicas configured")
 
     # -- pipelined client-side batching (mirrors repro.hatkv.client) --------
     def multi_get(self, keys):
         """Coroutine: one pipelined single-key Get per key, fanned across
         shards under each shard channel's in-flight window; values come
-        back in request order (b"" when absent)."""
-        handles = []
-        for key in keys:
+        back in request order (b"" when absent).  Cache hits are served
+        locally, promoted misses ride the hot-read channel, primary
+        replies feed the cache, and failover replies invalidate."""
+        cache = self.cache
+        out: List[Optional[bytes]] = [None] * len(keys)
+        pending = []
+        gen0 = self._takeover_gen
+        for i, key in enumerate(keys):
+            if cache is not None:
+                entry = cache.lookup(key)
+                if entry is not None:
+                    yield self.node.compute(HIT_COST)
+                    trace_cache_hit(
+                        self._engines[self.cluster.primary(key)],
+                        "Get", entry)
+                    out[i] = entry.value if entry.found else b""
+                    continue
             shard = self.cluster.primary(key)
             self._count(shard)
-            handles.append(
-                (shard, key,
-                 (yield from self._callers[shard].call_async("Get", key))))
-        out: List[bytes] = []
-        for shard, key, h in handles:
+            chan = None
+            if cache is not None and cache.promoted(key) \
+                    and self._hot[shard] is not None \
+                    and self._engines[shard].channel_saturated("Get"):
+                cache.count_hot_read()
+                chan = self._hot[shard]
+            issued = self.node.sim.now
+            pending.append(
+                (i, shard, key, issued,
+                 (yield from self._callers[shard].call_async(
+                     "Get", key, channel=chan))))
+        for i, shard, key, issued, h in pending:
             try:
                 result = yield from h.wait()
             except TTransportException:
                 result = yield from self._get_from_replicas(shard, key)
-            out.append(result.value if result.found else b"")
+                if cache is not None:
+                    cache.invalidate(key)
+            else:
+                if cache is not None:
+                    if self._takeover_gen != gen0:
+                        cache.invalidate(key)
+                    else:
+                        cache.admit(key, result, issued=issued)
+            out[i] = result.value if result.found else b""
         return out
 
     def _get_from_replicas(self, shard: int, key: bytes):
@@ -475,25 +650,31 @@ class ShardRouter:
         primaries settling before replicas (see :meth:`Put`)."""
         if len(keys) != len(values):
             raise ValueError("keys/values length mismatch")
-        for hop in range(self.cluster.replicas):
-            handles = []
-            for key, value in zip(keys, values):
-                pref = self.cluster.preference(key)
-                if hop >= len(pref):
-                    continue
-                shard = pref[hop]
-                self._count(shard)
-                handles.append((yield from self._callers[shard].call_async(
-                    "Put", key, value)))
-            first: Optional[Exception] = None
-            for h in handles:
-                try:
-                    yield from h.wait()
-                except Exception as exc:
-                    if first is None:
-                        first = exc
-            if first is not None:
-                raise first
+        try:
+            for hop in range(self.cluster.replicas):
+                handles = []
+                for key, value in zip(keys, values):
+                    pref = self.cluster.preference(key)
+                    if hop >= len(pref):
+                        continue
+                    shard = pref[hop]
+                    self._count(shard)
+                    handles.append(
+                        (yield from self._callers[shard].call_async(
+                            "Put", key, value)))
+                first: Optional[Exception] = None
+                for h in handles:
+                    try:
+                        yield from h.wait()
+                    except Exception as exc:
+                        if first is None:
+                            first = exc
+                if first is not None:
+                    raise first
+        finally:
+            if self.cache is not None:
+                for key in keys:
+                    self.cache.invalidate(key)
 
     def close(self) -> None:
         for client in self._clients:

@@ -8,8 +8,10 @@ HatRPC hint extension:
 * ``[' HintGroup* ']`` after a function's argument list / throws clause
   (function-level hints),
 * ``HintGroup ::= ('hint' | 's_hint' | 'c_hint') ':' HintList ';'``,
-* ``Hint ::= key '=' value`` with integer, float, string, identifier, and
-  size-suffixed (``64KB``) values.
+* ``Hint ::= key '=' value | key '(' (param '=' value)* ')'`` with integer,
+  float, string, identifier, size-suffixed (``64KB``) and time-suffixed
+  (``200us``) values; the parameterized form (e.g.
+  ``cacheable(ttl = 200us, hot_promote = 8)``) yields a dict-valued hint.
 """
 
 from __future__ import annotations
@@ -38,6 +40,8 @@ _BASE_TYPES = {"bool", "byte", "i8", "i16", "i32", "i64", "double",
 _HINT_SIDES = {"hint": "shared", "s_hint": "server", "c_hint": "client"}
 _SIZE_UNITS = {"B": 1, "KB": 1024, "MB": 1024**2, "GB": 1024**3,
                "K": 1024, "M": 1024**2, "G": 1024**3}
+# Durations normalise to float seconds (the sim clock's unit).
+_TIME_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 
 
 class ParseError(SyntaxError):
@@ -258,6 +262,17 @@ class Parser:
     def _hint(self) -> Hint:
         tok = self._peek()
         key = self._identifier()
+        if self._accept_symbol("("):
+            # Parameterized hint: key '(' (param '=' value (',' ...))* ')'
+            params: dict = {}
+            while not self._accept_symbol(")"):
+                pname = self._identifier()
+                self._expect_symbol("=")
+                params[pname] = self._hint_value()
+                if not self._accept_symbol(","):
+                    self._expect_symbol(")")
+                    break
+            return Hint(key, params, line=tok.line)
         self._expect_symbol("=")
         return Hint(key, self._hint_value(), line=tok.line)
 
@@ -270,10 +285,18 @@ class Parser:
             if unit.kind is TokenKind.IDENT and unit.value in _SIZE_UNITS:
                 self._next()
                 return value * _SIZE_UNITS[unit.value]
+            if unit.kind is TokenKind.IDENT and unit.value in _TIME_UNITS:
+                self._next()
+                return value * _TIME_UNITS[unit.value]
             return value
         if tok.kind is TokenKind.DOUBLE:
             self._next()
-            return float(tok.value)
+            value = float(tok.value)
+            unit = self._peek()
+            if unit.kind is TokenKind.IDENT and unit.value in _TIME_UNITS:
+                self._next()
+                return value * _TIME_UNITS[unit.value]
+            return value
         if tok.kind is TokenKind.STRING:
             self._next()
             return tok.value

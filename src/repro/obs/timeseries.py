@@ -345,6 +345,8 @@ class MetricsSampler:
         self._prev_counters: Dict[str, float] = {}
         #: name -> (count, total, buckets copy) at the previous sample
         self._prev_hists: Dict[str, Tuple[int, float, Dict[int, int]]] = {}
+        #: histogram name -> times its count went backwards (restarts)
+        self._hist_restarts: Dict[str, int] = {}
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -439,12 +441,25 @@ class MetricsSampler:
             dbuckets = (_delta_buckets(h.buckets, pbuckets)
                         if h.count >= pcount else None)
             if dbuckets is None:               # histogram restarted
+                # The pre-restart tail of the window is unrecoverable; the
+                # post-restart state stands in for the delta.  Say so in
+                # the stream instead of passing the splice off as a clean
+                # window: an annotation marks the instant, and a
+                # cumulative ``<name>.restarts`` series makes the count
+                # greppable next to the series it taints.
                 dcount, dtotal = h.count, h.total
                 dbuckets = dict(h.buckets)
+                self._hist_restarts[name] = \
+                    self._hist_restarts.get(name, 0) + 1
+                self.event("histogram_restart", name=name,
+                           prev_count=pcount, count=h.count)
             else:
                 dcount, dtotal = h.count - pcount, h.total - ptotal
             self._prev_hists[name] = (h.count, h.total, dict(h.buckets))
             self._append(out, f"{name}.rate", dcount / dt)
+            if name in self._hist_restarts:
+                self._append(out, f"{name}.restarts",
+                             float(self._hist_restarts[name]))
             if dcount > 0:
                 self._append(out, f"{name}.mean", dtotal / dcount)
                 for p in (50, 95, 99):

@@ -140,3 +140,38 @@ def test_unknown_priority_treated_as_high_threshold():
     assert g.admit("??") is None
     assert g.admit("??") is None
     assert g.admit("??") is not None
+
+
+def test_raising_high_water_hook_cannot_leak_an_admission_slot():
+    # Regression: a high-water observer that raised used to escape
+    # admit() with the slot already consumed and the occupancy gauge not
+    # yet updated -- the caller never saw the admit, never released, and
+    # the gate under-reported capacity forever after.  Hooks are now
+    # contained (and counted); the slot stays owned by the caller.
+    g = gate(capacity=4)
+
+    def bad_hook(mark):
+        raise RuntimeError("observer blew up")
+
+    g.on_high_water.append(bad_hook)
+    assert g.admit("normal") is None        # no exception escapes
+    assert g.hook_errors == 1
+    assert g.inflight == 1
+    g.release()
+    assert g.inflight == 0
+
+
+@pytest.mark.filterwarnings("ignore::repro.obs.ObsInstallOrderWarning")
+def test_occupancy_gauge_stays_synced_when_hook_raises():
+    from repro import obs
+
+    with obs.installed() as reg:
+        g = gate(capacity=4)
+        g.on_high_water.append(lambda mark: (_ for _ in ()).throw(
+            RuntimeError("boom")))
+        for expect in (1, 2, 3):
+            assert g.admit("high") is None
+            assert reg.gauge("admission.occupancy").value == expect
+        g.release()
+        assert reg.gauge("admission.occupancy").value == 2
+        assert g.hook_errors == 3

@@ -168,3 +168,63 @@ def test_plain_thrift_file_still_parses():
 def test_error_reports_location():
     with pytest.raises(ParseError, match=r"<idl>:3:\d+"):
         parse("\n\nstruct {")
+
+
+# -- parameterized hints (the cacheable extension) ----------------------------
+
+CACHED_IDL = """
+service KV {
+    hint: perf_goal = latency;
+
+    binary Get(1: binary key) [
+        hint: cacheable(ttl = 200us, hot_promote = 8);
+    ]
+    void Put(1: binary key, 2: binary value)
+}
+"""
+
+
+def test_parameterized_hint_parses_to_dict():
+    doc = parse(CACHED_IDL)
+    get = doc.service("KV").functions[0]
+    hint = get.hint_groups[0].hints[0]
+    assert hint.key == "cacheable"
+    assert hint.value == {"ttl": pytest.approx(200e-6), "hot_promote": 8}
+
+
+def test_time_unit_suffixes():
+    idl = """
+    service S {
+        void F() [ hint: cacheable(ttl = 2ms); ]
+        void G() [ hint: cacheable(ttl = 0.5s); ]
+        void H() [ hint: cacheable(ttl = 750ns); ]
+    }
+    """
+    fns = parse(idl).service("S").functions
+    ttls = [fn.hint_groups[0].hints[0].value["ttl"] for fn in fns]
+    assert ttls == [pytest.approx(2e-3), pytest.approx(0.5),
+                    pytest.approx(750e-9)]
+
+
+def test_parameterized_hint_allows_trailing_comma():
+    idl = "service S { void F() [ hint: cacheable(ttl = 1ms,); ] }"
+    hint = parse(idl).service("S").functions[0].hint_groups[0].hints[0]
+    assert hint.value == {"ttl": pytest.approx(1e-3)}
+
+
+def test_parameterized_hint_rejects_missing_equals():
+    with pytest.raises(ParseError):
+        parse("service S { void F() [ hint: cacheable(ttl 1ms); ] }")
+
+
+def test_parameterized_hint_mixes_with_plain_hints():
+    idl = """
+    service S {
+        void F() [ hint: payload_size = 1KB, cacheable(ttl = 1ms); ]
+    }
+    """
+    hints = {h.key: h.value
+             for h in parse(idl).service("S").functions[0]
+             .hint_groups[0].hints}
+    assert hints["payload_size"] == 1024
+    assert hints["cacheable"]["ttl"] == pytest.approx(1e-3)
