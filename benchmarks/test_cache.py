@@ -29,6 +29,7 @@ import pytest
 
 from benchmarks.figutil import emit_bench, fmt_rows, is_full, kops, \
     tput_metric
+from benchmarks.oracle import OracleStub, StaleOracle
 from repro import obs
 from repro.bench import Phase, PhasedRun, ScenarioMatrix, metric
 from repro.hatkv import ShardedKVCluster, load_hatkv_module
@@ -76,147 +77,8 @@ def _stream_path(leg: str) -> str:
 
 
 # -- the zero-stale oracle ----------------------------------------------------
-
-_STAMP = 12                      # zero-padded sequence prefix + b"|"
-
-
-def _seq_of(value: bytes) -> int:
-    """The write sequence stamped into ``value`` (0 for bulk-loaded)."""
-    if len(value) > _STAMP and value[_STAMP:_STAMP + 1] == b"|" \
-            and value[:_STAMP].isdigit():
-        return int(value[:_STAMP])
-    return 0
-
-
-class StaleOracle:
-    """Run-global freshness ledger; deliberately zero write coordination
-    (serializing hot-key writers would convoy the very barrier waits the
-    lease protocol lets overlap, distorting the measured system).
-
-    Two sound checks compose:
-
-    * **Stamp floor.**  Every Put stamps a global sequence into the
-      value.  A Put that overlapped no other Put on its key advances the
-      key's floor to its sequence at ack (non-overlapping writes apply
-      in real-time order, so its value is durably the newest).  Puts
-      that did overlap advance nothing -- any member of the overlap
-      group may legitimately be the survivor, and flagging the others
-      would be a false positive.  A read issued after the ack must
-      return a stamp at least the floor captured at issue.
-
-    * **Version monotonicity** (cached leg; uncached replies carry no
-      version).  Once a reply with server version ``v`` has *arrived*,
-      every read of that key *issued* later must observe ``>= v`` --
-      reads of one key are linearizable.  This is the check with teeth
-      on contended hot keys: a cache hit served past the server's write
-      barrier returns a version some completed read already exceeded.
-    """
-
-    def __init__(self, sim):
-        self.sim = sim
-        self.next_seq = 1
-        self.floor = {}             # key -> stamp floor (acked, unoverlapped)
-        self.vfloor = {}            # key -> max version seen in a done read
-        self._writes = {}           # key -> {put_id: tainted?}
-        self._next_put = 0
-        self.checked = 0
-        self.stale = 0
-        self.first_stale = None
-
-    # -- writes ---------------------------------------------------------------
-    def stamp(self, value: bytes) -> "tuple[int, bytes]":
-        seq = self.next_seq
-        self.next_seq += 1
-        return seq, b"%012d|" % seq + value
-
-    def write_issued(self, key: bytes) -> int:
-        """Register an in-flight Put; overlap taints everyone involved."""
-        pid = self._next_put
-        self._next_put += 1
-        group = self._writes.setdefault(key, {})
-        tainted = bool(group)
-        if tainted:
-            for other in group:
-                group[other] = True
-        group[pid] = tainted
-        return pid
-
-    def write_acked(self, key: bytes, pid: int, seq: int) -> None:
-        group = self._writes.get(key, {})
-        tainted = group.pop(pid, True)
-        if not group:
-            self._writes.pop(key, None)
-        if not tainted:
-            self.floor[key] = max(self.floor.get(key, 0), seq)
-
-    # -- reads ----------------------------------------------------------------
-    def read_floors(self, key: bytes) -> "tuple[int, int]":
-        """(stamp floor, version floor) captured at read-issue time."""
-        return self.floor.get(key, 0), self.vfloor.get(key, 0)
-
-    def check(self, key: bytes, floors, found: bool, value: bytes,
-              version=None) -> None:
-        sfloor, vfloor = floors
-        self.checked += 1
-        seen = _seq_of(value) if found else -1
-        bad = (found and seen < sfloor) or (not found and sfloor > 0) \
-            or (version is not None and version < vfloor)
-        if bad:
-            self.stale += 1
-            if self.first_stale is None:
-                self.first_stale = {"key": key, "stamp_floor": sfloor,
-                                    "seen_stamp": seen,
-                                    "version_floor": vfloor,
-                                    "seen_version": version,
-                                    "t": self.sim.now}
-        if version is not None:
-            self.vfloor[key] = max(self.vfloor.get(key, 0), version)
-
-
-class OracleStub:
-    """A KV stub whose reads are freshness-checked and whose writes feed
-    the ledger.  Results pass through unchanged -- the phased harness's
-    own assertions (``res.found`` etc.) still see the real replies."""
-
-    def __init__(self, stub, oracle: StaleOracle):
-        self._stub = stub
-        self._oracle = oracle
-
-    def Get(self, key):
-        floors = self._oracle.read_floors(key)
-        res = yield from self._stub.Get(key)
-        self._oracle.check(key, floors, res.found, res.value,
-                           version=getattr(res, "version", None))
-        return res
-
-    def Put(self, key, value):
-        seq, stamped = self._oracle.stamp(value)
-        pid = self._oracle.write_issued(key)
-        res = yield from self._stub.Put(key, stamped)
-        self._oracle.write_acked(key, pid, seq)
-        return res
-
-    def MultiGet(self, keys):
-        floors = [self._oracle.read_floors(k) for k in keys]
-        values = yield from self._stub.MultiGet(keys)
-        for k, f, v in zip(keys, floors, values):
-            self._oracle.check(k, f, bool(v), v)
-        return values
-
-    def MultiPut(self, keys, values):
-        seqs, stamped = [], []
-        for v in values:
-            seq, sv = self._oracle.stamp(v)
-            seqs.append(seq)
-            stamped.append(sv)
-        pids = [self._oracle.write_issued(k) for k in keys]
-        res = yield from self._stub.MultiPut(keys, stamped)
-        for k, pid, seq in zip(keys, pids, seqs):
-            self._oracle.write_acked(k, pid, seq)
-        return res
-
-    def Scan(self, start_key, count):
-        return (yield from self._stub.Scan(start_key, count))
+# StaleOracle / OracleStub live in benchmarks.oracle so the resize
+# benchmark can reuse the identical freshness checks.
 
 
 # -- the two phased legs ------------------------------------------------------

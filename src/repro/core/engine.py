@@ -615,6 +615,21 @@ class HatRpcEngine:
         self._breakers.clear()
         self._last_channel.clear()
 
+    def drain_close(self, poll: float = 1e-6):
+        """Coroutine: wait until every in-flight call settles, then close.
+
+        The polite shutdown for topology changes (a resharded-away shard,
+        a migrating router): plain :meth:`close` fails whatever is still
+        pipelined with NOT_OPEN, while this lets the tail drain first.
+        Calls issued *after* drain_close starts extend the wait -- callers
+        should stop routing new work to the engine before invoking it."""
+        sim = self.node.sim
+        while self._connected and (
+                any(self._ch_calls.get(i, 0) for i in self._channels)
+                or any(p.pending for p in self._pipelines.values())):
+            yield sim.timeout(poll)
+        self.close()
+
     def mark_idempotent(self, *fn_names: str) -> None:
         """Register functions that are safe to re-send after a failure."""
         self.idempotent_fns.update(fn_names)

@@ -16,6 +16,8 @@ The pieces map one-to-one onto Figure 10:
 from repro.hatkv.idl import hatkv_idl, load_hatkv_module
 from repro.hatkv.backend import BackendCosts, LmdbBackend
 from repro.hatkv.cache import HotKeyCache
+from repro.hatkv.migration import (MigrationPlan, RangeHandedOffError,
+                                   RangeState, ResizeTrigger)
 from repro.hatkv.server import HatKVServer, LeaseTable
 from repro.hatkv.client import KVClient, cache_for, connect_hatkv
 from repro.hatkv.sharding import HashRing, ShardRouter, ShardedKVCluster
@@ -28,6 +30,10 @@ __all__ = [
     "KVClient",
     "LeaseTable",
     "LmdbBackend",
+    "MigrationPlan",
+    "RangeHandedOffError",
+    "RangeState",
+    "ResizeTrigger",
     "ShardRouter",
     "ShardedKVCluster",
     "cache_for",

@@ -12,7 +12,7 @@ from repro.hatkv.cache import (HIT_COST, HotKeyCache, cache_hit_result,
 from repro.hatkv.server import BASE_SID, SERVICE
 
 __all__ = ["IDEMPOTENT_FUNCTIONS", "KVClient", "cache_for", "connect_hatkv",
-           "multi_get", "multi_put"]
+           "multi_delete", "multi_get", "multi_put"]
 
 #: KVService functions that are safe to re-send after a transport failure:
 #: the read set.  Put/MultiPut are deliberately absent -- a lost-ACK retry
@@ -79,6 +79,13 @@ def multi_put(stub, keys: Sequence[bytes], values: Sequence[bytes]):
         raise ValueError("keys/values length mismatch")
     return _caller_of(stub).call_many(
         [("Put", k, v) for k, v in zip(keys, values)])
+
+
+def multi_delete(stub, keys: Sequence[bytes]):
+    """Coroutine: remove ``keys`` as one pipelined batch (one ``Delete``
+    per key under the channel window).  The migration driver uses this to
+    propagate deletions that landed while a range's snapshot streamed."""
+    return _caller_of(stub).call_many([("Delete", k) for k in keys])
 
 
 def cache_for(node, gen_module, capacity: int = 4096

@@ -140,6 +140,15 @@ class LeaseTable:
             self.versions[k] = self.versions.get(k, 0) + 1
             self._last_write[k] = self.sim.now
 
+    def adopt(self, key, version: int) -> None:
+        """Import a version floor from another shard's table (migration
+        handoff).  Client-visible versions must stay monotonic per key
+        across a range move, so the new owner adopts the old owner's
+        version *before* the copied value lands -- its own bumps then
+        continue from there.  Never lowers an existing version."""
+        if version > self.versions.get(key, 0):
+            self.versions[key] = version
+
 
 class KVHandler:
     """Generated-Iface implementation over the backend (all coroutines).
@@ -157,6 +166,10 @@ class KVHandler:
         self.result_cls = result_cls or _PlainGetResult
         self.shard = shard
         self.leases = leases
+        #: migration write fence (a :class:`repro.hatkv.migration.HandoffGuard`
+        #: installed by the cluster's resize driver): once a range's cutover
+        #: completes, the old owner refuses writes for it.
+        self.handoff = None
         # Per-op instruments, captured once (None = metrics disabled).
         reg = obs.current()
         if reg is not None:
@@ -206,6 +219,8 @@ class KVHandler:
     def Put(self, key, value):
         self._count("put")
         self._annotate("put", value_bytes=len(value))
+        if self.handoff is not None:
+            self.handoff.check(key)
         lt = self.leases
         if lt is None:
             yield from self.backend.put(key, value)
@@ -221,6 +236,8 @@ class KVHandler:
     def Delete(self, key):
         self._count("delete")
         self._annotate("delete", key_bytes=len(key))
+        if self.handoff is not None:
+            self.handoff.check(key)
         lt = self.leases
         if lt is None:
             yield from self.backend.delete(key)
@@ -243,6 +260,8 @@ class KVHandler:
         self._count("multi_put")
         self._annotate("multi_put", nkeys=len(keys),
                        value_bytes=sum(len(v) for v in values))
+        if self.handoff is not None:
+            self.handoff.check(*keys)
         lt = self.leases
         if lt is None:
             yield from self.backend.multi_put(keys, values)
@@ -318,6 +337,12 @@ class HatKVServer:
                                 pipeline=pipeline, admission=admission,
                                 srq=srq, srq_slots=srq_slots,
                                 tunable=tunable)
+
+    def install_handoff(self, guard) -> None:
+        """Arm (or replace) the migration write fence on this server's
+        handler.  Each resize installs guards built from its own plan; the
+        latest plan is the routing truth, so replacement is correct."""
+        self.handler.handoff = guard
 
     def start(self) -> "HatKVServer":
         self.rpc.start()

@@ -15,12 +15,22 @@ the router fail a *whole channel's* swept reads over to one replica engine
 without decoding per-call keys.  Reads fail over to replicas; writes fan
 to every replica and surface typed transport errors instead of blindly
 retrying (a re-sent write could double-apply).
+
+The ring is elastic: :meth:`ShardedKVCluster.resize` grows or shrinks the
+shard count *live*, streaming only the remapped vnode arcs to their new
+owners while traffic keeps flowing (see :mod:`repro.hatkv.migration` for
+the range states, the cutover fence, and the dual-read forwarding
+window).  While a resize runs, the active
+:class:`~repro.hatkv.migration.MigrationPlan` -- not either ring alone --
+is the routing truth: routers resolve preference, write gates, and
+post-cutover read fallbacks against it, and each range flip bumps the
+cluster's ``routing_epoch`` so caches and scans can tell which side of a
+cutover an answer came from.
 """
 
 from __future__ import annotations
 
 import bisect
-import hashlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.thrift.errors import TTransportException
@@ -30,16 +40,19 @@ from repro.hatkv.cache import (HIT_COST, HotKeyCache, cache_hit_result,
                                trace_cache_hit)
 from repro.hatkv.client import (IDEMPOTENT_FUNCTIONS, cache_for,
                                 connect_hatkv)
+from repro.hatkv.client import multi_delete as _pipelined_multi_delete
+from repro.hatkv.client import multi_put as _pipelined_multi_put
 from repro.hatkv.idl import load_hatkv_module
+from repro.hatkv.migration import (FORWARD_WINDOW, HandoffGuard,
+                                   MigrationPlan, RangeState, VnodeRange,
+                                   coalesce_ranges, hash_key, ring_segments)
 from repro.hatkv.server import BASE_SID, SERVICE, HatKVServer
+from repro.sim.core import Event
 
-__all__ = ["HashRing", "ShardRouter", "ShardedKVCluster"]
+__all__ = ["HashRing", "RoutingView", "ShardRouter", "ShardedKVCluster"]
 
-
-def _hash64(data: bytes) -> int:
-    # md5 over Python's salted hash(): ring placement must be identical
-    # across processes and runs for results to be replayable.
-    return int.from_bytes(hashlib.md5(data).digest()[:8], "big")
+#: ring placement hash (md5-derived; see :func:`repro.hatkv.migration.hash_key`)
+_hash64 = hash_key
 
 
 class HashRing:
@@ -65,11 +78,35 @@ class HashRing:
         self._hashes = [h for h, _ in points]
         self._shards = [s for _, s in points]
 
-    def shard_of(self, key: bytes) -> int:
-        idx = bisect.bisect_right(self._hashes, _hash64(key))
+    def owner_of_hash(self, h: int) -> int:
+        """The shard owning ring position ``h`` (first point clockwise)."""
+        idx = bisect.bisect_right(self._hashes, h)
         if idx == len(self._hashes):
             idx = 0  # wrap past the highest point
         return self._shards[idx]
+
+    def shard_of(self, key: bytes) -> int:
+        return self.owner_of_hash(_hash64(key))
+
+    def resize(self, n_shards: int) -> "HashRing":
+        """The ring this one becomes at ``n_shards`` shards.
+
+        Same seed and vnode count, so every surviving shard keeps its
+        exact points and only the arcs claimed by added (or released by
+        removed) vnodes remap -- ``|Δvnodes| / |vnodes|`` of the key
+        space, the minimal-movement property consistent hashing exists
+        for.  :meth:`moved_ranges` names those arcs.
+        """
+        return HashRing(n_shards, vnodes=self.vnodes, seed=self.seed)
+
+    def moved_ranges(self, new_ring: "HashRing") -> List[VnodeRange]:
+        """The minimal remapped arc set between this ring and
+        ``new_ring`` (coalesced; primary ownership only -- replica-set
+        deltas are :class:`~repro.hatkv.migration.MigrationPlan`'s
+        concern)."""
+        return coalesce_ranges(
+            [VnodeRange(lo, hi, a, b)
+             for lo, hi, a, b in ring_segments(self, new_ring) if a != b])
 
     def distribution(self, keys) -> List[int]:
         """Keys-per-shard histogram (the router's balance gauge feed)."""
@@ -77,6 +114,30 @@ class HashRing:
         for key in keys:
             counts[self.shard_of(key)] += 1
         return counts
+
+
+class RoutingView:
+    """A frozen snapshot of the cluster's routing truth.
+
+    ``Scan``'s primary-preference dedup must rank every merged row
+    against ONE consistent topology: resolving primaries live would let a
+    range flip *between two rows of the same merge* hand the preference
+    to a stale replica copy.  The view pins the routing epoch at snapshot
+    time -- a migrated range counts as flipped only if its cutover
+    happened at or before that epoch -- so the whole merge sees the ring
+    as of one instant.
+    """
+
+    def __init__(self, cluster: "ShardedKVCluster"):
+        self.epoch = cluster.routing_epoch
+        self._plan = cluster.migration
+        self._ring = cluster.ring
+
+    def primary(self, key: bytes) -> int:
+        h = _hash64(key)
+        if self._plan is not None:
+            return self._plan.primary_at(h, self.epoch)
+        return self._ring.owner_of_hash(h)
 
 
 class ShardedKVCluster:
@@ -89,6 +150,8 @@ class ShardedKVCluster:
                  concurrency: Optional[int] = None,
                  pipeline: bool = True,
                  ring_seed: int = 0,
+                 reserve_nodes: Optional[Sequence] = None,
+                 forward_window: Optional[float] = None,
                  **server_kw):
         if not 1 <= replicas <= n_shards:
             raise ValueError("need 1 <= replicas <= n_shards")
@@ -99,15 +162,37 @@ class ShardedKVCluster:
         self.concurrency = concurrency
         self.gen = gen_module or load_hatkv_module(variant)
         self.ring = HashRing(n_shards, vnodes=vnodes, seed=ring_seed)
+        self.forward_window = FORWARD_WINDOW if forward_window is None \
+            else forward_window
         nodes = (list(server_nodes) if server_nodes is not None
                  else testbed.nodes[:n_shards])
         if len(nodes) != n_shards:
             raise ValueError(f"need {n_shards} server nodes, got {len(nodes)}")
+        self._server_kw = dict(server_kw)
         self.servers = [HatKVServer(node, self.gen, shard=i,
                                     concurrency=concurrency,
                                     base_service_id=BASE_SID,
                                     pipeline=pipeline, **server_kw)
                         for i, node in enumerate(nodes)]
+        #: nodes reserved for shards a future :meth:`resize` adds; they
+        #: count as server nodes for placement (harnesses must not put
+        #: clients there) even while idle.
+        self._spare_nodes = list(reserve_nodes or [])
+        #: the in-flight :class:`MigrationPlan` (None outside a resize and
+        #: after its forwarding window closes)
+        self.migration: Optional[MigrationPlan] = None
+        self._last_plan: Optional[MigrationPlan] = None
+        #: bumped at every range cutover; snapshot it to tell whether an
+        #: answer crossed a flip (see :class:`RoutingView` and the
+        #: router's cache admission)
+        self.routing_epoch = 0
+        #: live routers (connect registers, close deregisters): the resize
+        #: driver attaches new shards and pushes cutover invalidations here
+        self._routers: List["ShardRouter"] = []
+        #: migration-event hooks ``fn(kind, **attrs)`` (benchmark
+        #: annotation, tests)
+        self.on_migration: list = []
+        self._migr_stubs: Dict[Tuple[int, int], object] = {}
         reg = obs.current()
         if reg is not None:
             # Live key balance as a pull probe: unlike the load-time
@@ -115,17 +200,37 @@ class ShardedKVCluster:
             # every sampler tick, so inserts show up in the stream as
             # they land rather than at the next bulk load.
             reg.probe("hatkv.keys", self._key_balance)
+            # Per-range migration progress, same pull-probe shape: the
+            # stream shows ranges walking MIGRATING -> CUTOVER -> DONE.
+            reg.probe("hatkv.migration", self._migration_progress)
+            self._m_migr_events = reg.counter("hatkv.migration.events")
+        else:
+            self._m_migr_events = None
 
     def _key_balance(self) -> dict:
         return {f"shard{i}": float(s.backend.env.stat().entries)
                 for i, s in enumerate(self.servers)}
 
+    def _migration_progress(self) -> dict:
+        plan = self.migration or self._last_plan
+        return plan.progress() if plan is not None else {}
+
     # -- topology ------------------------------------------------------------
     @property
+    def sim(self):
+        return self.servers[0].node.sim
+
+    @property
     def nodes(self) -> list:
-        return [s.node for s in self.servers]
+        """Every node the cluster owns -- serving shards AND reserved
+        spares, so placement logic keeps clients off future shard homes."""
+        return [s.node for s in self.servers] + list(self._spare_nodes)
 
     def primary(self, key: bytes) -> int:
+        if self.migration is not None:
+            pref = self.migration.preference(_hash64(key))
+            if pref is not None:
+                return pref[0]
         return self.ring.shard_of(key)
 
     def replica_shards(self, primary: int) -> Tuple[int, ...]:
@@ -135,7 +240,28 @@ class ShardedKVCluster:
                      for j in range(self.replicas))
 
     def preference(self, key: bytes) -> Tuple[int, ...]:
-        return self.replica_shards(self.primary(key))
+        """The replica set currently serving ``key``.  Under an active
+        migration the covering range's plan entry wins: its old set stays
+        authoritative through CUTOVER, its new set from the flip on.
+        Arcs the resize does not touch have identical sets under both
+        rings, so the static path below is exact for them throughout."""
+        if self.migration is not None:
+            pref = self.migration.preference(_hash64(key))
+            if pref is not None:
+                return pref
+        return self.replica_shards(self.ring.shard_of(key))
+
+    def read_fallback(self, key: bytes) -> Tuple[int, ...]:
+        """Shards still holding ``key``'s pre-cutover copy (the dual-read
+        forwarding window); () outside a migration."""
+        if self.migration is None:
+            return ()
+        return self.migration.read_fallback(_hash64(key))
+
+    def routing_view(self) -> RoutingView:
+        """A frozen resolver for epoch-consistent dedup (see
+        :class:`RoutingView`)."""
+        return RoutingView(self)
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "ShardedKVCluster":
@@ -144,6 +270,9 @@ class ShardedKVCluster:
         return self
 
     def stop(self) -> None:
+        for stub in self._migr_stubs.values():
+            stub._hatrpc.close()
+        self._migr_stubs.clear()
         for s in self.servers:
             s.stop()
 
@@ -189,27 +318,251 @@ class ShardedKVCluster:
         that cache with other routers -- the per-machine shape, where
         every client process on a node reads through (and invalidates)
         one cache.
+
+        The router registers with the cluster: a later :meth:`resize`
+        connects it to the new shards before any range flips, and pushes
+        per-range cache invalidations at each cutover.
         """
+        connect_kw = dict(deadline=deadline, retry_policy=retry_policy,
+                          rng=rng, tunable=tunable, tuner=tuner)
         stubs = []
         for i, server in enumerate(self.servers):
             stub = yield from connect_hatkv(
                 node, server.node, self.gen,
                 concurrency=self.concurrency,
                 base_service_id=BASE_SID,
-                deadline=deadline, retry_policy=retry_policy, rng=rng,
                 pipeline=self.pipeline, trace_attrs={"shard": i},
-                tunable=tunable, tuner=tuner)
+                **connect_kw)
             stubs.append(stub)
         if isinstance(cache, HotKeyCache):
             kv_cache = cache
         else:
             kv_cache = cache_for(node, self.gen, cache_capacity) if cache \
                 else None
-        return ShardRouter(self, node, stubs, cache=kv_cache)
+        router = ShardRouter(self, node, stubs, cache=kv_cache,
+                             connect_kw=connect_kw)
+        self._routers.append(router)
+        return router
 
     @property
     def requests(self) -> int:
         return sum(s.requests for s in self.servers)
+
+    # -- elastic resize ------------------------------------------------------
+    def start_resize(self, n_shards: int, **kw):
+        """Kick off :meth:`resize` as a detached process (the load-aware
+        trigger's entry point) and return the process handle."""
+        return self.sim.process(self.resize(n_shards, **kw),
+                                name=f"hatkv-resize-{n_shards}")
+
+    def resize(self, n_shards: int, catchup_rounds: int = 2,
+               batch: int = 64):
+        """Coroutine: live ring resize to ``n_shards`` with key migration.
+
+        Grow stands the new shards up on reserved nodes and attaches
+        every live router to them; shrink retires the dropped shards
+        after their data has moved and their forwarding window closed.
+        Ranges migrate one at a time (copy -> catch-up -> fence ->
+        fenced delta -> flip), so the write fence only ever covers one
+        arc's keys and p99 disturbance stays bounded.  See
+        :mod:`repro.hatkv.migration` for the protocol.
+        """
+        if self.migration is not None:
+            raise RuntimeError("a resize is already in flight")
+        if n_shards == self.n_shards:
+            return
+        old_n = self.n_shards
+        old_ring = self.ring
+        new_ring = old_ring.resize(n_shards)
+        plan = MigrationPlan(self.sim, old_ring, new_ring,
+                             replicas=self.replicas,
+                             forward_window=self.forward_window)
+        added: List[HatKVServer] = []
+        for i in range(old_n, n_shards):
+            if not self._spare_nodes:
+                raise RuntimeError(
+                    "resize needs reserve_nodes for the added shards")
+            srv = HatKVServer(self._spare_nodes.pop(0), self.gen, shard=i,
+                              concurrency=self.concurrency,
+                              base_service_id=BASE_SID,
+                              pipeline=self.pipeline,
+                              **self._server_kw).start()
+            self.servers.append(srv)
+            added.append(srv)
+        self.migration = plan
+        self._last_plan = plan
+        # Arm the write fence everywhere: from here on, a range that
+        # completes its cutover is refused by its old owner.
+        for srv in self.servers:
+            srv.install_handoff(HandoffGuard(plan, srv.shard))
+        # Every live router must reach the new shards before any range
+        # can flip to them.
+        for router in list(self._routers):
+            yield from router.attach_shards(added, first_shard=old_n)
+        self._fire("resize_start", n_from=old_n, n_to=n_shards,
+                   ranges=len(plan.tasks))
+        buckets = self._bucket_keys(plan)
+        for task in plan.tasks:
+            yield from self._migrate_range(
+                plan, task, buckets.get(id(task), []),
+                batch=batch, catchup_rounds=catchup_rounds)
+        # Every range flipped: the new ring is the whole routing truth.
+        self.ring = new_ring
+        self.n_shards = n_shards
+        self._fire("resize_cutover_complete", epoch=self.routing_epoch)
+        # Dual-read forwarding window: the old copies keep backstopping
+        # post-cutover misses until it closes, then they are dropped.
+        yield self.sim.timeout(plan.forward_window)
+        dropped = self._cleanup(plan)
+        self._fire("cleanup_done", keys_dropped=dropped)
+        for stub in self._migr_stubs.values():
+            stub._hatrpc.close()
+        self._migr_stubs.clear()
+        if n_shards < old_n:
+            for router in list(self._routers):
+                yield from router.detach_shards(old_n - n_shards)
+            retired = self.servers[n_shards:]
+            del self.servers[n_shards:]
+            for srv in retired:
+                srv.stop()
+                self._spare_nodes.append(srv.node)
+        self.migration = None
+        self._fire("resize_done", n_shards=n_shards)
+
+    def _fire(self, kind: str, **attrs) -> None:
+        if self._m_migr_events is not None:
+            self._m_migr_events.inc()
+        for fn in list(self.on_migration):
+            fn(kind, **attrs)
+
+    def _bucket_keys(self, plan: MigrationPlan) -> Dict[int, List[bytes]]:
+        """Existing keys grouped by the migrating range covering them.
+
+        Each distinct source primary's backend is enumerated exactly once
+        (keys only -- values are read with simulated cost when their
+        batch streams).  Replica-held copies are skipped: the range's
+        ``src[0]`` backend is the authoritative copy source.
+        """
+        buckets: Dict[int, List[bytes]] = {}
+        for shard in sorted({t.src[0] for t in plan.tasks}):
+            with self.servers[shard].backend.env.begin() as txn:
+                rows = txn.cursor().scan()
+            for k, _v in rows:
+                t = plan.covering(_hash64(k))
+                if t is not None and t.src[0] == shard:
+                    buckets.setdefault(id(t), []).append(k)
+        return buckets
+
+    def _migrate_range(self, plan: MigrationPlan, task, keys,
+                       batch: int = 64, catchup_rounds: int = 2):
+        """Coroutine: walk one range through its migration states.
+
+        The cutover block below is deliberately yield-free between
+        setting ``CUTOVER`` and sampling ``task.inflight``: the
+        cooperative sim makes the two atomic, so the in-flight count it
+        drains on is exact and a write can never slip between the fence
+        closing and the drain starting.
+        """
+        sim = self.sim
+        task.keys_total = len(keys)
+        task.seen.update(keys)
+        task.state = RangeState.MIGRATING
+        self._fire("range_migrating", lo=task.lo, hi=task.hi,
+                   src=task.src, dst=task.dst, keys=len(keys))
+        # Initial snapshot + unfenced catch-up rounds: writes keep landing
+        # on the old owners and dirty-marking, each round shrinks the
+        # delta the fenced pass below must ship.
+        yield from self._copy_keys(task, keys, batch)
+        for _ in range(catchup_rounds):
+            if not task.dirty:
+                break
+            delta = sorted(task.dirty)
+            task.dirty.clear()
+            yield from self._copy_keys(task, delta, batch)
+        # -- cutover: fence new writes, drain in-flight ones -----------------
+        task.fence = Event(sim)
+        task.state = RangeState.CUTOVER
+        self._fire("range_cutover", lo=task.lo, hi=task.hi,
+                   inflight=task.inflight)
+        if task.inflight:
+            task._drain = Event(sim)
+            yield task._drain
+        if task.dirty:
+            delta = sorted(task.dirty)
+            task.dirty.clear()
+            yield from self._copy_keys(task, delta, batch)
+        # -- flip: the range's routing truth moves to the new owners ---------
+        self.routing_epoch += 1
+        task.done_epoch = self.routing_epoch
+        task.done_at = sim.now
+        task.state = RangeState.DONE
+        task.fence.succeed()   # parked writers re-resolve to the new owners
+        for router in list(self._routers):
+            router._on_range_done(task)
+        self._fire("range_done", lo=task.lo, hi=task.hi,
+                   epoch=self.routing_epoch, keys_moved=task.keys_moved)
+
+    def _copy_keys(self, task, keys, batch: int):
+        """Coroutine: stream ``keys`` of one range to its new holders.
+
+        Reads are costed backend batches on the source primary; writes
+        ride pipelined ``multi_put`` RPCs over server-to-server stubs --
+        migration shares the RPC substrate (and its windows and hints)
+        with client traffic instead of a magic side channel.  Keys that
+        vanished since they were dirty-marked propagate as pipelined
+        Deletes, so a removal during the copy cannot resurrect at the new
+        owner.  Version floors are adopted before each batch lands:
+        client-visible versions stay monotonic across the handoff.
+        """
+        if not keys:
+            return
+        src = self.servers[task.src[0]]
+        for i in range(0, len(keys), batch):
+            chunk = list(keys[i:i + batch])
+            values = yield from src.backend.multi_get(chunk)
+            present = [(k, v) for k, v in zip(chunk, values)
+                       if v is not None]
+            absent = [k for k, v in zip(chunk, values) if v is None]
+            for dst in task.copy_targets:
+                dst_srv = self.servers[dst]
+                if dst_srv.leases is not None and src.leases is not None:
+                    for k in chunk:
+                        dst_srv.leases.adopt(k, src.leases.version(k))
+                stub = yield from self._migr_stub(task.src[0], dst)
+                if present:
+                    yield from _pipelined_multi_put(
+                        stub, [k for k, _ in present],
+                        [v for _, v in present])
+                if absent:
+                    yield from _pipelined_multi_delete(stub, absent)
+            task.keys_moved += len(present)
+            task.bytes_moved += sum(len(k) + len(v) for k, v in present)
+
+    def _migr_stub(self, src: int, dst: int):
+        """Coroutine: the (cached) server-to-server stub one copy stream
+        rides; closed when the resize completes."""
+        stub = self._migr_stubs.get((src, dst))
+        if stub is None:
+            stub = yield from connect_hatkv(
+                self.servers[src].node, self.servers[dst].node, self.gen,
+                concurrency=self.concurrency, base_service_id=BASE_SID,
+                pipeline=self.pipeline)
+            self._migr_stubs[(src, dst)] = stub
+        return stub
+
+    def _cleanup(self, plan: MigrationPlan) -> int:
+        """Drop the handed-off copies once the forwarding window closes
+        (direct backend deletes -- control plane, like :meth:`load`)."""
+        dropped = 0
+        for task in plan.tasks:
+            for shard in task.drop_targets:
+                backend = self.servers[shard].backend
+                with backend.env.begin(write=True) as txn:
+                    for k in sorted(task.seen):
+                        if txn.delete(k):
+                            dropped += 1
+            task.cleaned = True
+        return dropped
 
 
 class ShardRouter:
@@ -220,12 +573,20 @@ class ShardRouter:
     preference list; swept in-flight reads are handed to a replica
     engine through the engine's ``sweep_reroute`` hook; writes fan to all
     replicas and surface transport errors typed, never blindly re-sent.
+
+    During a resize the router is migration-aware: writes pass the
+    cutover fence (:meth:`_write_intent`) so none straddles a flip,
+    cache admission is epoch-tagged, post-cutover misses retry the
+    range's previous holders for the forwarding window, and each range
+    flip invalidates exactly that range's cached keys.
     """
 
-    def __init__(self, cluster: ShardedKVCluster, node, stubs, cache=None):
+    def __init__(self, cluster: ShardedKVCluster, node, stubs, cache=None,
+                 connect_kw: Optional[dict] = None):
         self.cluster = cluster
         self.node = node
         self.cache = cache
+        self._connect_kw = dict(connect_kw or {})
         self._stubs = list(stubs)
         self._clients = [s._hatrpc for s in stubs]
         self._callers = [c.async_caller() for c in self._clients]
@@ -236,14 +597,17 @@ class ShardRouter:
         reg = obs.current()
         if reg is not None:
             self._m_ops = [reg.counter(f"hatkv.router.shard{i}.ops")
-                           for i in range(cluster.n_shards)]
+                           for i in range(len(self._stubs))]
             self._m_reroutes = reg.counter("hatkv.router.reroutes")
             self._m_read_failovers = reg.counter("hatkv.router.read_failovers")
+            self._m_forward = reg.counter("hatkv.router.forward_reads")
         else:
             self._m_ops = None
             self._m_reroutes = None
             self._m_read_failovers = None
+            self._m_forward = None
         self._rerouting: set = set()       # (fn, seqid) pairs in takeover
+        self._closed = False
         #: bumped at every swept-call takeover; reads snapshot it before
         #: issuing and only feed the cache when it did not move (a reply
         #: that raced a takeover may itself be a replica's answer,
@@ -252,6 +616,99 @@ class ShardRouter:
         for shard, engine in enumerate(self._engines):
             engine.sweep_reroute = self._reroute_hook(shard)
 
+    # -- elastic topology ----------------------------------------------------
+    def attach_shards(self, servers, first_shard: int):
+        """Coroutine: connect this router to shards a resize added, with
+        the same connect options (deadline, retries, tuner) its original
+        shards got.  Called by the resize driver before any range flips,
+        so a flipped range's new owners are always reachable."""
+        reg = obs.current()
+        for i, server in enumerate(servers, start=first_shard):
+            stub = yield from connect_hatkv(
+                self.node, server.node, self.cluster.gen,
+                concurrency=self.cluster.concurrency,
+                base_service_id=BASE_SID,
+                pipeline=self.cluster.pipeline, trace_attrs={"shard": i},
+                **self._connect_kw)
+            client = stub._hatrpc
+            engine = client.engine
+            self._stubs.append(stub)
+            self._clients.append(client)
+            self._callers.append(client.async_caller())
+            self._engines.append(engine)
+            self._hot.append(engine.hot_read_channel()
+                             if self.cache is not None else None)
+            if self._m_ops is not None and reg is not None:
+                self._m_ops.append(reg.counter(f"hatkv.router.shard{i}.ops"))
+            engine.sweep_reroute = self._reroute_hook(i)
+
+    def detach_shards(self, count: int):
+        """Coroutine: drain and drop the highest-numbered ``count`` shard
+        channel sets (a shrink's retired shards).  Uses the engine's
+        drain-and-close so pipelined tails settle instead of failing."""
+        for _ in range(count):
+            self._stubs.pop()
+            client = self._clients.pop()
+            self._callers.pop()
+            engine = self._engines.pop()
+            self._hot.pop()
+            if self._m_ops is not None:
+                self._m_ops.pop()
+            engine.sweep_reroute = None
+            yield from engine.drain_close()
+            client.close()
+
+    def _on_range_done(self, task) -> None:
+        """Cutover hook: drop cached entries for exactly the flipped
+        range -- their provenance (the old owners) just stopped being
+        authoritative.  Everything else keeps serving."""
+        if self.cache is not None:
+            self.cache.invalidate_match(lambda k: task.contains(_hash64(k)))
+
+    # -- the migration write gate --------------------------------------------
+    def _write_intent(self, key):
+        """Coroutine: gate one write on the cutover fence, count it
+        in-flight, and resolve the replica set it must land on.
+
+        There is no yield between the final fence check, the
+        registration, and the preference resolution: the cooperative sim
+        makes the three atomic, which is what guarantees a write is
+        counted against -- and lands on -- exactly one side of a cutover
+        (so a Put can never be acknowledged by two primaries).  Returns
+        ``(task_or_None, preference)``; the caller must settle the task
+        with ``task.settle_write(key)`` in a finally block.
+        """
+        plan = self.cluster.migration
+        if plan is None:
+            return None, self.cluster.preference(key)
+        h = _hash64(key)
+        while True:
+            fence = plan.fence_of(h)
+            if fence is None:
+                break
+            yield fence
+        return plan.write_begin(h), self.cluster.preference(key)
+
+    def _write_intent_many(self, keys):
+        """Coroutine: :meth:`_write_intent` over a batch -- wait out every
+        covering fence, then register and resolve all keys in one atomic
+        step."""
+        plan = self.cluster.migration
+        if plan is None:
+            return ([None] * len(keys),
+                    [self.cluster.preference(k) for k in keys])
+        hashes = [_hash64(k) for k in keys]
+        while True:
+            fences = {id(f): f for h in hashes
+                      for f in (plan.fence_of(h),) if f is not None}
+            if not fences:
+                break
+            for f in fences.values():
+                yield f
+        tokens = [plan.write_begin(h) for h in hashes]
+        prefs = [self.cluster.preference(k) for k in keys]
+        return tokens, prefs
+
     # -- swept-call takeover -------------------------------------------------
     def _reroute_hook(self, shard: int):
         """hook(entry, exc) consulted by shard ``shard``'s engine when an
@@ -259,6 +716,14 @@ class ShardRouter:
         Successor replication means any replica of this shard can serve
         the entry without decoding its key."""
         def hook(entry, exc) -> bool:
+            if self._closed:
+                return False               # close() fences new takeovers
+            if self.cluster.migration is not None:
+                # Replica sets are per-range during a resize, and a swept
+                # channel's calls span ranges: there is no single engine
+                # that can serve them all.  Fail typed; idempotent reads
+                # retry through normal routing.
+                return False
             if entry.seqid is None:
                 return False               # cannot dedupe a takeover chain
             if (entry.fn, entry.seqid) in self._rerouting:
@@ -272,9 +737,12 @@ class ShardRouter:
                 return False
             self._takeover_gen += 1
             if self.cache is not None:
-                # Takeover = topology event: every cached entry's
-                # provenance is suspect, so none may be served.
-                self.cache.clear()
+                # Takeover = shard-scoped topology event.  The cache only
+                # admits primary answers, so exactly the keys primaried on
+                # this shard are suspect -- the rest of the node's hot set
+                # keeps serving through the flap.
+                self.cache.invalidate_match(
+                    lambda k: self.cluster.primary(k) == shard)
             self._rerouting.add((entry.fn, entry.seqid))
             self.node.sim.process(
                 self._reroute_entry(entry, replicas),
@@ -287,10 +755,13 @@ class ShardRouter:
         key's replica shards (in preference order) and settle the original
         handle with the outcome.  The replica server echoes the request
         seqid, so the caller's paused stub decoder accepts the response
-        unchanged."""
+        unchanged.  Checks the close fence at every step: a takeover must
+        never resolve a handle against a router that died under it."""
         last: Optional[Exception] = None
         try:
             for shard in replicas:
+                if self._closed:
+                    break
                 eng = self._engines[shard]
                 if not eng.is_open():
                     continue
@@ -302,16 +773,23 @@ class ShardRouter:
                 except Exception as exc:
                     last = exc
                     continue
+                if self._closed:
+                    break      # the router closed while the takeover flew
                 if self._m_reroutes is not None:
                     self._m_reroutes.inc()
                 if not entry.handle.done:
                     entry.handle._resolve(resp)
                 return
             if not entry.handle.done:
-                entry.handle._fail(last if last is not None
-                                   else TTransportException(
-                                       TTransportException.NOT_OPEN,
-                                       f"no live replica for {entry.fn}"))
+                if self._closed:
+                    entry.handle._fail(TTransportException(
+                        TTransportException.NOT_OPEN,
+                        f"router closed during {entry.fn} takeover"))
+                else:
+                    entry.handle._fail(last if last is not None
+                                       else TTransportException(
+                                           TTransportException.NOT_OPEN,
+                                           f"no live replica for {entry.fn}"))
         finally:
             self._rerouting.discard((entry.fn, entry.seqid))
 
@@ -326,19 +804,40 @@ class ShardRouter:
                         entry)
         return cache_hit_result(self._result_cls, entry)
 
+    def _forward_read(self, key, shards):
+        """Coroutine: the dual-read forwarding fallback -- retry a
+        post-cutover miss on the range's previous holders.  A hit here is
+        returned but never cached (the old copy stops being authoritative
+        when the window closes)."""
+        for r in shards:
+            if r >= len(self._stubs):
+                continue
+            self._count(r)
+            try:
+                result = yield from self._stubs[r].Get(key)
+            except TTransportException:
+                continue
+            if result.found:
+                if self._m_forward is not None:
+                    self._m_forward.inc()
+                return result
+        return None
+
     # -- the stub API --------------------------------------------------------
     def Get(self, key):
         """Coroutine: GetResult for ``key``; the hot-key cache sits above
         the shard fan-out, and reads fail over in preference order when a
         shard's transport is down.  Failover answers may lag the primary,
-        so they invalidate the key and are never cached."""
+        so they invalidate the key and are never cached; the same applies
+        to answers that crossed a takeover or a migration cutover
+        (epoch-tagged admission)."""
         cache = self.cache
         if cache is not None:
             entry = cache.lookup(key)
             if entry is not None:
                 return (yield from self._serve_hit(key, entry))
         last: Optional[Exception] = None
-        gen0 = self._takeover_gen
+        gen0 = (self._takeover_gen, self.cluster.routing_epoch)
         for hop, shard in enumerate(self.cluster.preference(key)):
             self._count(shard)
             issued = self.node.sim.now
@@ -355,7 +854,15 @@ class ShardRouter:
             except TTransportException as exc:
                 last = exc
                 continue
-            if hop or self._takeover_gen != gen0:
+            if hop == 0 and not result.found \
+                    and self.cluster.migration is not None:
+                fb = self.cluster.read_fallback(key)
+                if fb and shard not in fb:
+                    fwd = yield from self._forward_read(key, fb)
+                    if fwd is not None:
+                        return fwd
+            if hop or (self._takeover_gen,
+                       self.cluster.routing_epoch) != gen0:
                 if self._m_read_failovers is not None and hop:
                     self._m_read_failovers.inc()
                 if cache is not None:
@@ -373,55 +880,61 @@ class ShardRouter:
         unreachable raises its typed transport error with every replica
         still holding the pre-write value -- the router never
         blind-retries writes and never lets a replica get ahead of its
-        primary."""
+        primary.  Under a migration the write first passes the cutover
+        fence and is counted in-flight against its range."""
+        token, pref = yield from self._write_intent(key)
         try:
-            pref = self.cluster.preference(key)
             for shard in pref:
                 self._count(shard)
             yield from self._stubs[pref[0]].Put(key, value)
-            if len(pref) == 1:
-                return
-            handles = []
-            for shard in pref[1:]:
-                handles.append((yield from self._callers[shard].call_async(
-                    "Put", key, value)))
-            first: Optional[Exception] = None
-            for h in handles:
-                try:
-                    yield from h.wait()
-                except Exception as exc:
-                    if first is None:
-                        first = exc
-            if first is not None:
-                raise first
+            if len(pref) > 1:
+                handles = []
+                for shard in pref[1:]:
+                    handles.append(
+                        (yield from self._callers[shard].call_async(
+                            "Put", key, value)))
+                first: Optional[Exception] = None
+                for h in handles:
+                    try:
+                        yield from h.wait()
+                    except Exception as exc:
+                        if first is None:
+                            first = exc
+                if first is not None:
+                    raise first
         finally:
+            if token is not None:
+                token.settle_write(key)
             if self.cache is not None:
                 self.cache.invalidate(key)
 
     def Delete(self, key):
         """Coroutine: remove ``key`` from every replica of its shard,
-        primary-first (same write discipline as :meth:`Put`)."""
+        primary-first (same write discipline -- and migration write gate
+        -- as :meth:`Put`)."""
+        token, pref = yield from self._write_intent(key)
         try:
-            pref = self.cluster.preference(key)
             for shard in pref:
                 self._count(shard)
             yield from self._stubs[pref[0]].Delete(key)
-            if len(pref) == 1:
-                return
-            handles = []
-            for shard in pref[1:]:
-                handles.append((yield from self._callers[shard].call_async(
-                    "Delete", key)))
-            first: Optional[Exception] = None
-            for h in handles:
-                try:
-                    yield from h.wait()
-                except Exception as exc:
-                    if first is None:
-                        first = exc
-            if first is not None:
-                raise first
+            if len(pref) > 1:
+                handles = []
+                for shard in pref[1:]:
+                    handles.append(
+                        (yield from self._callers[shard].call_async(
+                            "Delete", key)))
+                first: Optional[Exception] = None
+                for h in handles:
+                    try:
+                        yield from h.wait()
+                    except Exception as exc:
+                        if first is None:
+                            first = exc
+                if first is not None:
+                    raise first
         finally:
+            if token is not None:
+                token.settle_write(key)
             if self.cache is not None:
                 self.cache.invalidate(key)
 
@@ -466,8 +979,18 @@ class ShardRouter:
         return out
 
     def _multi_get_fallback(self, shard: int, subkeys):
-        """Coroutine: re-read one shard's sub-batch from its replicas
-        (all keys primaried on ``shard`` share the same replica set)."""
+        """Coroutine: re-read one shard's sub-batch from its replicas.
+
+        Statically all keys primaried on ``shard`` share one replica set,
+        so the whole sub-batch retries on each successor.  During a
+        migration that invariant is gone (replica sets are per-range), so
+        the fallback degrades to per-key replica reads."""
+        if self.cluster.migration is not None:
+            values = []
+            for key in subkeys:
+                r = yield from self._get_from_replicas(shard, key)
+                values.append(r.value if r.found else b"")
+            return values
         last: Optional[Exception] = None
         for r in self.cluster.replica_shards(shard)[1:]:
             self._count(r)
@@ -487,14 +1010,15 @@ class ShardRouter:
         """Coroutine: store a batch, one server-side MultiPut per shard
         per replica.  Two phases with the same primary-first rule as
         :meth:`Put`: every primary write settles before any replica is
-        touched; the first failure raises after its phase settles."""
+        touched; the first failure raises after its phase settles.  The
+        whole batch passes the migration write gate up front."""
         if len(keys) != len(values):
             raise ValueError("keys/values length mismatch")
+        tokens, prefs = yield from self._write_intent_many(keys)
         try:
             primary: Dict[int, Tuple[List[bytes], List[bytes]]] = {}
             replica: Dict[int, Tuple[List[bytes], List[bytes]]] = {}
-            for key, value in zip(keys, values):
-                pref = self.cluster.preference(key)
+            for key, value, pref in zip(keys, values, prefs):
                 for phase, shard in zip(
                         (primary,) + (replica,) * (len(pref) - 1), pref):
                     ks, vs = phase.setdefault(shard, ([], []))
@@ -517,6 +1041,9 @@ class ShardRouter:
                 if first is not None:
                     raise first
         finally:
+            for key, token in zip(keys, tokens):
+                if token is not None:
+                    token.settle_write(key)
             if self.cache is not None:
                 for key in keys:
                     self.cache.invalidate(key)
@@ -529,14 +1056,20 @@ class ShardRouter:
         copy may lag its primary (a write is applied primary-first, so a
         scan racing the replica fan-out -- or failing over mid-scan --
         can read the pre-write value there).  Dedup therefore prefers the
-        row whose *answering* shard is the key's ring owner; a replica's
-        row only stands in when no primary answer arrived (that shard was
-        down and its leg failed over)."""
+        row whose *answering* shard is the key's ring owner -- resolved
+        against a :class:`RoutingView` frozen before the legs were
+        issued, so a resize flipping a range *between merged rows* cannot
+        re-rank a stale replica copy above the fresh one.  During a
+        migration, rows from shards outside a key's current (or
+        forwarding) replica set are dropped: a partially copied range on
+        its future owner must not leak half-moved rows into the merge."""
+        view = self.cluster.routing_view()
         handles = []
-        for shard in range(self.cluster.n_shards):
+        for shard in range(len(self._stubs)):
             self._count(shard)
             handles.append((shard, (yield from self._callers[
                 shard].call_async("Scan", start_key, count))))
+        migrating = self.cluster.migration is not None
         # key -> (came_from_primary, value)
         best: Dict[bytes, Tuple[bool, bytes]] = {}
         for shard, h in handles:
@@ -548,7 +1081,12 @@ class ShardRouter:
                     shard, start_key, count)
             for i in range(0, len(flat), 2):
                 k, v = flat[i], flat[i + 1]
-                primary = self.cluster.primary(k) == src
+                if migrating:
+                    holders = set(self.cluster.preference(k)) \
+                        | set(self.cluster.read_fallback(k))
+                    if src not in holders:
+                        continue
+                primary = view.primary(k) == src
                 cur = best.get(k)
                 if cur is None or (primary and not cur[0]):
                     best[k] = (primary, v)
@@ -585,11 +1123,12 @@ class ShardRouter:
         shards under each shard channel's in-flight window; values come
         back in request order (b"" when absent).  Cache hits are served
         locally, promoted misses ride the hot-read channel, primary
-        replies feed the cache, and failover replies invalidate."""
+        replies feed the cache (epoch-tagged), and failover replies
+        invalidate."""
         cache = self.cache
         out: List[Optional[bytes]] = [None] * len(keys)
         pending = []
-        gen0 = self._takeover_gen
+        gen0 = (self._takeover_gen, self.cluster.routing_epoch)
         for i, key in enumerate(keys):
             if cache is not None:
                 entry = cache.lookup(key)
@@ -621,8 +1160,16 @@ class ShardRouter:
                 if cache is not None:
                     cache.invalidate(key)
             else:
+                if not result.found and self.cluster.migration is not None:
+                    fb = self.cluster.read_fallback(key)
+                    if fb and shard not in fb:
+                        fwd = yield from self._forward_read(key, fb)
+                        if fwd is not None:
+                            out[i] = fwd.value
+                            continue
                 if cache is not None:
-                    if self._takeover_gen != gen0:
+                    if (self._takeover_gen,
+                            self.cluster.routing_epoch) != gen0:
                         cache.invalidate(key)
                     else:
                         cache.admit(key, result, issued=issued)
@@ -630,8 +1177,13 @@ class ShardRouter:
         return out
 
     def _get_from_replicas(self, shard: int, key: bytes):
+        """Coroutine: per-key read failover along the key's *current*
+        preference list (plan-aware during a migration), skipping the
+        shard that already failed."""
         last: Optional[Exception] = None
-        for r in self.cluster.replica_shards(shard)[1:]:
+        for r in self.cluster.preference(key):
+            if r == shard:
+                continue
             self._count(r)
             try:
                 result = yield from self._stubs[r].Get(key)
@@ -647,14 +1199,17 @@ class ShardRouter:
 
     def multi_put(self, keys, values):
         """Coroutine: one pipelined single-key Put per key per replica,
-        primaries settling before replicas (see :meth:`Put`)."""
+        primaries settling before replicas (see :meth:`Put`).  Replica
+        sets are resolved once, under the migration write gate -- a
+        re-resolve between hops could split one write across both sides
+        of a cutover."""
         if len(keys) != len(values):
             raise ValueError("keys/values length mismatch")
+        tokens, prefs = yield from self._write_intent_many(keys)
         try:
             for hop in range(self.cluster.replicas):
                 handles = []
-                for key, value in zip(keys, values):
-                    pref = self.cluster.preference(key)
+                for key, value, pref in zip(keys, values, prefs):
                     if hop >= len(pref):
                         continue
                     shard = pref[hop]
@@ -672,11 +1227,24 @@ class ShardRouter:
                 if first is not None:
                     raise first
         finally:
+            for key, token in zip(keys, tokens):
+                if token is not None:
+                    token.settle_write(key)
             if self.cache is not None:
                 for key in keys:
                     self.cache.invalidate(key)
 
     def close(self) -> None:
+        """Tear down every shard client.
+
+        Close is fenced against in-flight reroute takeovers through the
+        chained-takeover guard: ``_closed`` flips before any engine dies,
+        ``_reroute_hook`` refuses new takeovers outright, and a takeover
+        already in flight observes the fence at its next step and fails
+        its entry typed instead of resolving it against a dead router."""
+        self._closed = True
+        if self in self.cluster._routers:
+            self.cluster._routers.remove(self)
         for client in self._clients:
             client.engine.sweep_reroute = None
             client.close()
